@@ -1,0 +1,82 @@
+// Command hbspk-calibrate runs the BYTEmark-style suite over a machine
+// configuration, prints the resulting ranking and the balanced workload
+// shares the measurement implies (§5.1: "The ranking of processors is
+// determined by the BYTEmark benchmark"; "c_i is computed using the
+// BYTEmark results").
+//
+// Usage:
+//
+//	hbspk-calibrate                      # the UCF testbed preset
+//	hbspk-calibrate -machine figure1     # the Figure 1 HBSP^2 cluster
+//	hbspk-calibrate -machine cluster.json
+//	hbspk-calibrate -noise 0 -seed 7     # noiseless measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbspk/internal/bytemark"
+	"hbspk/internal/model"
+	"hbspk/internal/trace"
+)
+
+// loadMachine resolves a preset name or a JSON spec path.
+func loadMachine(name string) (*model.Tree, error) {
+	switch name {
+	case "ucf", "testbed":
+		return model.UCFTestbed(), nil
+	case "figure1":
+		return model.Figure1Cluster(), nil
+	case "grid":
+		return model.WideAreaGrid(3, 4, 12, 25000, 250000), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("not a preset (ucf, figure1, grid) and unreadable as a spec file: %w", err)
+	}
+	spec, err := model.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Tree()
+}
+
+func main() {
+	machine := flag.String("machine", "ucf", "preset (ucf, figure1, grid) or JSON spec path")
+	seed := flag.Int64("seed", 1, "measurement seed")
+	noise := flag.Float64("noise", 0.08, "relative measurement noise amplitude")
+	scale := flag.Int("scale", 2, "kernel scale (1 = quick, 10 = thorough)")
+	kernels := flag.Bool("kernels", false, "also print the per-kernel index table")
+	flag.Parse()
+
+	tr, err := loadMachine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbspk-calibrate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(tr.String())
+
+	suite := bytemark.Suite{Scale: *scale, NoiseAmp: *noise, Seed: *seed}
+	ixs, err := suite.Measure(tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbspk-calibrate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(bytemark.Table(ixs).String())
+	if *kernels {
+		fmt.Println()
+		fmt.Print(bytemark.KernelTable(ixs).String())
+	}
+
+	bytemark.ApplyShares(tr, ixs)
+	tb := trace.NewTable("estimated balanced workload shares c_j", "machine", "c_j", "r_j", "r_j*c_j*p")
+	p := float64(tr.NProcs())
+	for _, l := range tr.RankedLeaves() {
+		tb.AddF(l.Name, l.Share, l.CommSlowdown, l.Share*l.CommSlowdown*p)
+	}
+	fmt.Println()
+	fmt.Print(tb.String())
+}

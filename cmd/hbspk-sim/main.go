@@ -1,0 +1,201 @@
+// Command hbspk-sim runs one collective on one machine and prints the
+// superstep profile and an ASCII timeline of the run — the quickest way
+// to *see* an HBSP^k computation's super^i-step structure.
+//
+// Usage:
+//
+//	hbspk-sim -machine figure1 -collective gather-hier -n 400000
+//	hbspk-sim -machine grid -collective allreduce -timeline-width 120
+//	hbspk-sim -machine cluster.json -collective bcast-hier -pure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/cost"
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+)
+
+func loadMachine(name string) (*model.Tree, error) {
+	switch name {
+	case "ucf", "testbed":
+		return model.UCFTestbed(), nil
+	case "figure1":
+		return model.Figure1Cluster(), nil
+	case "grid":
+		return model.WideAreaGrid(3, 4, 12, 25000, 250000), nil
+	case "chain":
+		return model.DeepChain(4), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("not a preset (ucf, figure1, grid, chain) and unreadable as a spec file: %w", err)
+	}
+	spec, err := model.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Tree()
+}
+
+func main() {
+	machine := flag.String("machine", "figure1", "preset (ucf, figure1, grid, chain) or JSON spec path")
+	coll := flag.String("collective", "gather-hier",
+		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall")
+	n := flag.Int("n", 400000, "problem size in bytes")
+	pure := flag.Bool("pure", false, "pure cost model instead of PVM overheads")
+	width := flag.Int("timeline-width", 100, "timeline width in columns")
+	noise := flag.Float64("noise", 0, "noise amplitude (non-dedicated cluster)")
+	seed := flag.Int64("seed", 1, "noise seed")
+	dot := flag.Bool("dot", false, "print the machine as Graphviz DOT and exit")
+	jsonOut := flag.String("json", "", "also write the run report as JSON to this path")
+	flag.Parse()
+
+	tr, err := loadMachine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(tr.DOT())
+		return
+	}
+	cfg := fabric.PVM()
+	if *pure {
+		cfg = fabric.PureModel()
+	}
+	if *noise > 0 {
+		cfg.Noise = *noise
+		cfg.Seed = *seed
+	}
+
+	prog, err := program(tr, *coll, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := hbsp.RunVirtual(tr, cfg, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(tr.String())
+	fmt.Printf("\n%s of %d bytes:\n\n", *coll, *n)
+	fmt.Print(rep.String())
+	fmt.Println()
+	fmt.Print(rep.Timeline(*width))
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// program builds the SPMD body for the chosen collective.
+func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
+	rootPid := tr.Pid(tr.FastestLeaf())
+	balanced := cost.BalancedDist(tr, n)
+	vecLen := n / 8 / tr.NProcs()
+	if vecLen < 1 {
+		vecLen = 1
+	}
+	switch coll {
+	case "gather":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.Gather(c, c.Tree().Root, rootPid, make([]byte, balanced[c.Pid()]))
+			return err
+		}, nil
+	case "gather-hier":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.GatherHier(c, make([]byte, balanced[c.Pid()]))
+			return err
+		}, nil
+	case "scatter-hier":
+		return func(c hbsp.Ctx) error {
+			var pieces map[int][]byte
+			if c.Pid() == rootPid {
+				pieces = map[int][]byte{}
+				for pid := 0; pid < c.NProcs(); pid++ {
+					pieces[pid] = make([]byte, balanced[pid])
+				}
+			}
+			_, err := collective.ScatterHier(c, pieces)
+			return err
+		}, nil
+	case "bcast1":
+		return func(c hbsp.Ctx) error {
+			var in []byte
+			if c.Pid() == rootPid {
+				in = make([]byte, n)
+			}
+			_, err := collective.BcastOnePhase(c, c.Tree().Root, rootPid, in)
+			return err
+		}, nil
+	case "bcast2":
+		return func(c hbsp.Ctx) error {
+			var in []byte
+			if c.Pid() == rootPid {
+				in = make([]byte, n)
+			}
+			_, err := collective.BcastTwoPhase(c, c.Tree().Root, rootPid, in, nil)
+			return err
+		}, nil
+	case "bcast-hier":
+		return func(c hbsp.Ctx) error {
+			var in []byte
+			if c.Self() == c.Tree().FastestLeaf() {
+				in = make([]byte, n)
+			}
+			_, err := collective.BcastHier(c, in, false)
+			return err
+		}, nil
+	case "allgather":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.AllGather(c, c.Tree().Root, make([]byte, balanced[c.Pid()]))
+			return err
+		}, nil
+	case "allgather-hier":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.AllGatherHier(c, make([]byte, balanced[c.Pid()]))
+			return err
+		}, nil
+	case "reduce-hier":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.ReduceHier(c, make([]int64, vecLen), collective.Sum)
+			return err
+		}, nil
+	case "allreduce":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.AllReduce(c, make([]int64, vecLen), collective.Sum)
+			return err
+		}, nil
+	case "scan-hier":
+		return func(c hbsp.Ctx) error {
+			_, err := collective.ScanHier(c, make([]int64, vecLen), collective.Sum)
+			return err
+		}, nil
+	case "alltoall":
+		return func(c hbsp.Ctx) error {
+			out := map[int][]byte{}
+			per := balanced[c.Pid()] / c.NProcs()
+			for pid := 0; pid < c.NProcs(); pid++ {
+				out[pid] = make([]byte, per)
+			}
+			_, err := collective.TotalExchange(c, c.Tree().Root, out)
+			return err
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown collective %q", coll)
+}

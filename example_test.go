@@ -1,0 +1,83 @@
+package hbspk_test
+
+import (
+	"fmt"
+	"sort"
+
+	"hbspk"
+)
+
+// ExampleRun builds a three-machine cluster and gathers every
+// processor's bytes at the fastest machine under the pure cost model.
+func ExampleRun() {
+	root := hbspk.NewCluster("lan", []*hbspk.Machine{
+		hbspk.NewLeaf("fast", hbspk.WithComm(1), hbspk.WithComp(1)),
+		hbspk.NewLeaf("mid", hbspk.WithComm(1.2), hbspk.WithComp(1.5)),
+		hbspk.NewLeaf("slow", hbspk.WithComm(1.5), hbspk.WithComp(2)),
+	}, hbspk.WithSync(100))
+	tree := hbspk.MustNew(root, 1).Normalize()
+
+	var collected []int
+	rep, err := hbspk.Run(tree, hbspk.PureModelFabric(), func(c hbspk.Ctx) error {
+		out, err := hbspk.Gather(c, c.Tree().Root, 0, []byte{byte(c.Pid() + 10)})
+		if err != nil {
+			return err
+		}
+		if out != nil {
+			for pid := range out {
+				collected = append(collected, pid)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	sort.Ints(collected)
+	fmt.Println("pieces from pids:", collected)
+	fmt.Println("supersteps:", rep.Supersteps())
+	// Output:
+	// pieces from pids: [0 1 2]
+	// supersteps: 1
+}
+
+// ExamplePredictGather shows the analytic cost of a balanced gather on
+// the paper's testbed: with balanced workloads it collapses to the
+// §4.2 form, dominated by the root's receive side plus L.
+func ExamplePredictGather() {
+	tree := hbspk.UCFTestbed()
+	dist := hbspk.BalancedDist(tree, 100000)
+	b := hbspk.PredictGather(tree, tree.Pid(tree.FastestLeaf()), dist)
+	fmt.Printf("steps: %d, total: %.0f\n", len(b.Steps), b.Total())
+	// Output:
+	// steps: 1, total: 111369
+}
+
+// ExampleTwoPhaseCrossoverSize reproduces the §4.4 analysis: below this
+// problem size the one-phase broadcast wins, above it the two-phase.
+func ExampleTwoPhaseCrossoverSize() {
+	fmt.Printf("n* = %.0f bytes\n", hbspk.TwoPhaseCrossoverSize(hbspk.UCFTestbed()))
+	// Output:
+	// n* = 3704 bytes
+}
+
+// ExampleAllReduce sums one value per processor across the paper's
+// Figure 1 machine, hierarchically.
+func ExampleAllReduce() {
+	tree := hbspk.Figure1Cluster()
+	totals := make([]int64, tree.NProcs())
+	_, err := hbspk.Run(tree, hbspk.PureModelFabric(), func(c hbspk.Ctx) error {
+		out, err := hbspk.AllReduce(c, []int64{1}, hbspk.SumOp)
+		if err != nil {
+			return err
+		}
+		totals[c.Pid()] = out[0]
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("every processor holds:", totals[0])
+	// Output:
+	// every processor holds: 9
+}

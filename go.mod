@@ -1,0 +1,3 @@
+module hbspk
+
+go 1.22

@@ -1,0 +1,185 @@
+package hbspk
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// The public-API tests exercise the same flows the examples use, so the
+// documented entry points cannot rot.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	root := NewCluster("lan", []*Machine{
+		NewLeaf("fast", WithComm(1), WithComp(1)),
+		NewLeaf("slow", WithComm(1.3), WithComp(2)),
+	}, WithSync(1000))
+	tree := MustNew(root, 1).Normalize()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got map[int][]byte
+	var mu sync.Mutex
+	rep, err := Run(tree, PVMFabric(), func(c Ctx) error {
+		out, err := Gather(c, c.Tree().Root, 0, []byte{byte(c.Pid())})
+		if out != nil {
+			mu.Lock()
+			got = out
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || rep.Supersteps() != 1 {
+		t.Fatalf("gather result %v in %d steps", got, rep.Supersteps())
+	}
+}
+
+func TestPublicPresetsValidate(t *testing.T) {
+	for name, tr := range map[string]*Tree{
+		"ucf":      UCFTestbed(),
+		"ucf4":     UCFTestbedN(4),
+		"figure1":  Figure1Cluster(),
+		"homog":    Homogeneous(6, 100),
+		"wan-grid": WideAreaGrid(2, 3, 10, 100, 1000),
+	} {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicPredictionMatchesRun(t *testing.T) {
+	tree := UCFTestbed()
+	n := 200000
+	d := BalancedDist(tree, n)
+	root := tree.Pid(tree.FastestLeaf())
+	rep, err := Run(tree, PureModelFabric(), func(c Ctx) error {
+		_, err := Gather(c, c.Tree().Root, root, make([]byte, d[c.Pid()]))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictGather(tree, root, d).Total()
+	if math.Abs(rep.Total-want) > 1e-6 {
+		t.Errorf("run %v != prediction %v", rep.Total, want)
+	}
+}
+
+func TestPublicRankingAndShares(t *testing.T) {
+	tree := UCFTestbedN(5)
+	ixs, err := RankMachines(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ixs) != 5 {
+		t.Fatalf("got %d indices", len(ixs))
+	}
+	if ixs[0].Composite != 1 {
+		t.Errorf("ranking not normalized: best = %v", ixs[0].Composite)
+	}
+	ApplyMeasuredShares(tree, ixs)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAllReduceAcrossEngines(t *testing.T) {
+	tree := Figure1Cluster()
+	prog := func(out []int64) Program {
+		return func(c Ctx) error {
+			v, err := AllReduce(c, []int64{int64(c.Pid() + 1)}, SumOp)
+			if err != nil {
+				return err
+			}
+			out[c.Pid()] = v[0]
+			return nil
+		}
+	}
+	p := tree.NProcs()
+	want := int64(p * (p + 1) / 2)
+	virt := make([]int64, p)
+	if _, err := Run(tree, PureModelFabric(), prog(virt)); err != nil {
+		t.Fatal(err)
+	}
+	conc := make([]int64, p)
+	if _, err := RunConcurrent(tree, prog(conc)); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < p; pid++ {
+		if virt[pid] != want || conc[pid] != want {
+			t.Errorf("pid %d: virtual %d concurrent %d want %d", pid, virt[pid], conc[pid], want)
+		}
+	}
+}
+
+func TestPublicBroadcastVariantsAgree(t *testing.T) {
+	tree := UCFTestbedN(6)
+	data := bytes.Repeat([]byte{9, 8, 7}, 999)
+	root := tree.Pid(tree.FastestLeaf())
+	for _, variant := range []string{"one", "two", "hier"} {
+		results := make([][]byte, tree.NProcs())
+		_, err := Run(tree, PVMFabric(), func(c Ctx) error {
+			var in []byte
+			if c.Pid() == root {
+				in = data
+			}
+			var out []byte
+			var err error
+			switch variant {
+			case "one":
+				out, err = BcastOnePhase(c, c.Tree().Root, root, in)
+			case "two":
+				out, err = BcastTwoPhase(c, c.Tree().Root, root, in, nil)
+			case "hier":
+				out, err = BcastHier(c, in, false)
+			}
+			results[c.Pid()] = out
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		for pid, r := range results {
+			if !bytes.Equal(r, data) {
+				t.Errorf("%s: pid %d wrong data", variant, pid)
+			}
+		}
+	}
+}
+
+func TestPublicCrossoverFiniteOnTestbed(t *testing.T) {
+	if n := TwoPhaseCrossoverSize(UCFTestbed()); math.IsInf(n, 1) || n <= 0 {
+		t.Errorf("crossover = %v", n)
+	}
+}
+
+func TestPublicSpecRoundTrip(t *testing.T) {
+	tree := Figure1Cluster()
+	spec := specOf(t, tree)
+	back, err := spec.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != tree.K() || back.NProcs() != tree.NProcs() {
+		t.Error("spec round trip changed shape")
+	}
+}
+
+func specOf(t *testing.T, tree *Tree) *MachineSpec {
+	t.Helper()
+	// Reuse the JSON path end to end.
+	data, err := EncodeSpec(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}

@@ -1,0 +1,232 @@
+// Package apps builds representative heterogeneous applications on top
+// of the HBSPlib runtime and the collective suite — the "designing
+// HBSP^k applications that can take advantage of our efficient
+// heterogeneous communication algorithms" direction the paper's §6
+// names as the next step. Each application follows the two §4.1 design
+// principles: the fastest processor coordinates, and work follows the
+// c_{i,j} shares.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/hbsp"
+)
+
+// FlopCost is the charged time per floating-point multiply-add on the
+// fastest machine, relative to sending one byte (late-90s workstations
+// computed a MAC in roughly the time the wire moved a couple of bytes).
+const FlopCost = 2.0
+
+// rowsFor splits m rows over the processors proportionally to the
+// balanced shares (or equally when balanced is false), in pid order.
+// Residual rows go to the fastest processor.
+func rowsFor(c hbsp.Ctx, m int, balanced bool) []int {
+	t := c.Tree()
+	p := c.NProcs()
+	rows := make([]int, p)
+	if !balanced {
+		q, r := m/p, m%p
+		for i := range rows {
+			rows[i] = q
+			if i < r {
+				rows[i]++
+			}
+		}
+		return rows
+	}
+	// Largest-remainder apportionment: floor every share, then hand the
+	// leftover rows to the largest fractional remainders, so no single
+	// machine absorbs the rounding error.
+	type frac struct {
+		pid int
+		rem float64
+	}
+	assigned := 0
+	fr := make([]frac, p)
+	for pid := 0; pid < p; pid++ {
+		exact := float64(m) * t.Leaf(pid).Share
+		rows[pid] = int(exact)
+		assigned += rows[pid]
+		fr[pid] = frac{pid, exact - float64(rows[pid])}
+	}
+	for i := 1; i < p; i++ { // insertion sort by remainder, descending
+		for j := i; j > 0 && fr[j-1].rem < fr[j].rem; j-- {
+			fr[j-1], fr[j] = fr[j], fr[j-1]
+		}
+	}
+	for i := 0; i < m-assigned; i++ {
+		rows[fr[i%p].pid]++
+	}
+	return rows
+}
+
+func packFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+func unpackFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// MatVec computes y = A·x on the machine: the coordinator holds A
+// (m×n, row-major) and x, scatters row blocks sized by the workload
+// policy, broadcasts x, and gathers the partial results. Every
+// processor calls it; the coordinator receives y, others nil.
+func MatVec(c hbsp.Ctx, a []float64, m, n int, x []float64, balanced bool) ([]float64, error) {
+	t := c.Tree()
+	rootPid := t.Pid(t.FastestLeaf())
+	scope := t.Root
+	if c.Pid() == rootPid {
+		if len(a) != m*n {
+			return nil, fmt.Errorf("apps: matrix is %d values, want %d×%d", len(a), m, n)
+		}
+		if len(x) != n {
+			return nil, fmt.Errorf("apps: x has %d values, want %d", len(x), n)
+		}
+	}
+	rows := rowsFor(c, m, balanced)
+
+	// Scatter row blocks.
+	var pieces map[int][]byte
+	if c.Pid() == rootPid {
+		pieces = make(map[int][]byte, c.NProcs())
+		off := 0
+		for pid, rcount := range rows {
+			pieces[pid] = packFloats(a[off*n : (off+rcount)*n])
+			off += rcount
+		}
+	}
+	blockRaw, err := collective.Scatter(c, scope, rootPid, pieces)
+	if err != nil {
+		return nil, err
+	}
+	block := unpackFloats(blockRaw)
+
+	// Broadcast x (two-phase, §4.4's winner).
+	var xWire []byte
+	if c.Pid() == rootPid {
+		xWire = packFloats(x)
+	}
+	xRaw, err := collective.BcastTwoPhase(c, scope, rootPid, xWire, nil)
+	if err != nil {
+		return nil, err
+	}
+	xv := unpackFloats(xRaw)
+
+	// Local multiply: rows[c.Pid()] rows of n MACs each.
+	myRows := rows[c.Pid()]
+	y := make([]float64, myRows)
+	for i := 0; i < myRows; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += block[i*n+j] * xv[j]
+		}
+		y[i] = s
+	}
+	c.Charge(FlopCost * float64(myRows*n))
+
+	// Gather the partial results in pid order.
+	parts, err := collective.Gather(c, scope, rootPid, packFloats(y))
+	if err != nil {
+		return nil, err
+	}
+	if c.Pid() != rootPid {
+		return nil, nil
+	}
+	out := make([]float64, 0, m)
+	for pid := 0; pid < c.NProcs(); pid++ {
+		out = append(out, unpackFloats(parts[pid])...)
+	}
+	return out, nil
+}
+
+// MatMul computes C = A·B with A (m×k) row-partitioned by the workload
+// policy and B (k×n) broadcast whole. The coordinator holds A and B and
+// receives C; others return nil.
+func MatMul(c hbsp.Ctx, a []float64, m, k int, b []float64, n int, balanced bool) ([]float64, error) {
+	t := c.Tree()
+	rootPid := t.Pid(t.FastestLeaf())
+	scope := t.Root
+	rows := rowsFor(c, m, balanced)
+
+	var pieces map[int][]byte
+	if c.Pid() == rootPid {
+		if len(a) != m*k || len(b) != k*n {
+			return nil, fmt.Errorf("apps: shapes %d≠%d×%d or %d≠%d×%d", len(a), m, k, len(b), k, n)
+		}
+		pieces = make(map[int][]byte, c.NProcs())
+		off := 0
+		for pid, rcount := range rows {
+			pieces[pid] = packFloats(a[off*k : (off+rcount)*k])
+			off += rcount
+		}
+	}
+	blockRaw, err := collective.Scatter(c, scope, rootPid, pieces)
+	if err != nil {
+		return nil, err
+	}
+	block := unpackFloats(blockRaw)
+
+	var bWire []byte
+	if c.Pid() == rootPid {
+		bWire = packFloats(b)
+	}
+	bRaw, err := collective.BcastTwoPhase(c, scope, rootPid, bWire, nil)
+	if err != nil {
+		return nil, err
+	}
+	bv := unpackFloats(bRaw)
+
+	myRows := rows[c.Pid()]
+	out := make([]float64, myRows*n)
+	for i := 0; i < myRows; i++ {
+		for l := 0; l < k; l++ {
+			ail := block[i*k+l]
+			for j := 0; j < n; j++ {
+				out[i*n+j] += ail * bv[l*n+j]
+			}
+		}
+	}
+	c.Charge(FlopCost * float64(myRows*k*n))
+
+	parts, err := collective.Gather(c, scope, rootPid, packFloats(out))
+	if err != nil {
+		return nil, err
+	}
+	if c.Pid() != rootPid {
+		return nil, nil
+	}
+	full := make([]float64, 0, m*n)
+	for pid := 0; pid < c.NProcs(); pid++ {
+		full = append(full, unpackFloats(parts[pid])...)
+	}
+	return full, nil
+}
+
+// Histogram counts value occurrences across distributed data: each
+// processor holds local bytes, counts into `buckets` bins, and a
+// hierarchical all-reduce combines the counts so every processor ends
+// with the global histogram.
+func Histogram(c hbsp.Ctx, local []byte, buckets int) ([]int64, error) {
+	if buckets <= 0 || buckets > 256 {
+		return nil, fmt.Errorf("apps: %d buckets out of range (1..256)", buckets)
+	}
+	counts := make([]int64, buckets)
+	for _, b := range local {
+		counts[int(b)*buckets/256]++
+	}
+	c.Charge(0.5 * float64(len(local)))
+	return collective.AllReduce(c, counts, collective.Sum)
+}

@@ -1,0 +1,274 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/trace"
+)
+
+func runApp(t *testing.T, tr *model.Tree, prog hbsp.Program) *trace.Report {
+	t.Helper()
+	rep, err := hbsp.RunVirtual(tr, fabric.PVM(), prog)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rep
+}
+
+func randMatrix(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+func seqMatVec(a []float64, m, n int, x []float64) []float64 {
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			y[i] += a[i*n+j] * x[j]
+		}
+	}
+	return y
+}
+
+func TestMatVecMatchesSequential(t *testing.T) {
+	for _, balanced := range []bool{false, true} {
+		for _, tr := range []*model.Tree{model.UCFTestbedN(6), model.Figure1Cluster()} {
+			rng := rand.New(rand.NewSource(3))
+			m, n := 37, 23 // awkward sizes exercise the remainder rows
+			a := randMatrix(rng, m*n)
+			x := randMatrix(rng, n)
+			want := seqMatVec(a, m, n, x)
+			var got []float64
+			var mu sync.Mutex
+			runApp(t, tr, func(c hbsp.Ctx) error {
+				var inA, inX []float64
+				if c.Self() == c.Tree().FastestLeaf() {
+					inA, inX = a, x
+				}
+				y, err := MatVec(c, inA, m, n, inX, balanced)
+				if err != nil {
+					return err
+				}
+				if y != nil {
+					mu.Lock()
+					got = y
+					mu.Unlock()
+				}
+				return nil
+			})
+			if len(got) != m {
+				t.Fatalf("balanced=%v %s: got %d rows, want %d", balanced, tr.Root.Name, len(got), m)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Errorf("balanced=%v %s: y[%d] = %v, want %v", balanced, tr.Root.Name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, k, n := 19, 11, 13
+	a := randMatrix(rng, m*k)
+	b := randMatrix(rng, k*n)
+	want := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			for j := 0; j < n; j++ {
+				want[i*n+j] += a[i*k+l] * b[l*n+j]
+			}
+		}
+	}
+	tr := model.UCFTestbed()
+	var got []float64
+	var mu sync.Mutex
+	runApp(t, tr, func(c hbsp.Ctx) error {
+		var inA, inB []float64
+		if c.Self() == c.Tree().FastestLeaf() {
+			inA, inB = a, b
+		}
+		out, err := MatMul(c, inA, m, k, inB, n, true)
+		if err != nil {
+			return err
+		}
+		if out != nil {
+			mu.Lock()
+			got = out
+			mu.Unlock()
+		}
+		return nil
+	})
+	if len(got) != m*n {
+		t.Fatalf("got %d values, want %d", len(got), m*n)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBalancedMatMulFasterThanEqual(t *testing.T) {
+	// Matmul is compute-bound (m·k·n flops against O(m·k + k·n) bytes),
+	// so it must benefit from balanced rows (§4.1's second principle):
+	// slow machines get fewer rows. The communication-bound matvec, by
+	// contrast, behaves like the paper's Figure 3(b) gather — covered
+	// by TestMatVecBalancedIsNoWorse below.
+	tr := model.UCFTestbed()
+	rng := rand.New(rand.NewSource(9))
+	m, k, n := 96, 96, 96
+	a := randMatrix(rng, m*k)
+	b := randMatrix(rng, k*n)
+	measure := func(balanced bool) float64 {
+		rep := runApp(t, tr, func(c hbsp.Ctx) error {
+			var inA, inB []float64
+			if c.Self() == c.Tree().FastestLeaf() {
+				inA, inB = a, b
+			}
+			_, err := MatMul(c, inA, m, k, inB, n, balanced)
+			return err
+		})
+		return rep.Total
+	}
+	equal, balanced := measure(false), measure(true)
+	if balanced >= equal {
+		t.Errorf("balanced matmul %v not faster than equal %v", balanced, equal)
+	}
+	if equal/balanced < 1.15 {
+		t.Errorf("improvement %v too small for a compute-bound kernel", equal/balanced)
+	}
+}
+
+func TestMatVecBalancedIsNoWorse(t *testing.T) {
+	// Matvec moves as many bytes as it computes flops, so balance buys
+	// little — but it must never lose.
+	tr := model.UCFTestbed()
+	rng := rand.New(rand.NewSource(9))
+	m, n := 400, 200
+	a := randMatrix(rng, m*n)
+	x := randMatrix(rng, n)
+	measure := func(balanced bool) float64 {
+		rep := runApp(t, tr, func(c hbsp.Ctx) error {
+			var inA, inX []float64
+			if c.Self() == c.Tree().FastestLeaf() {
+				inA, inX = a, x
+			}
+			_, err := MatVec(c, inA, m, n, inX, balanced)
+			return err
+		})
+		return rep.Total
+	}
+	equal, balanced := measure(false), measure(true)
+	if balanced > equal {
+		t.Errorf("balanced matvec %v slower than equal %v", balanced, equal)
+	}
+}
+
+func TestMatVecRejectsBadShapes(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+		var a, x []float64
+		if c.Self() == c.Tree().FastestLeaf() {
+			a = make([]float64, 7) // not 3×3
+			x = make([]float64, 3)
+		}
+		_, err := MatVec(c, a, 3, 3, x, false)
+		return err
+	})
+	if err == nil {
+		t.Error("bad shape accepted")
+	}
+}
+
+func TestHistogramCountsEverything(t *testing.T) {
+	tr := model.Figure1Cluster()
+	p := tr.NProcs()
+	const perProc = 1000
+	const buckets = 16
+	results := make([][]int64, p)
+	runApp(t, tr, func(c hbsp.Ctx) error {
+		local := make([]byte, perProc)
+		for i := range local {
+			local[i] = byte((c.Pid()*31 + i) % 256)
+		}
+		h, err := Histogram(c, local, buckets)
+		if err != nil {
+			return err
+		}
+		results[c.Pid()] = h
+		return nil
+	})
+	// Every processor holds the same global histogram covering all
+	// values.
+	total := int64(0)
+	for _, v := range results[0] {
+		total += v
+	}
+	if total != int64(p*perProc) {
+		t.Errorf("histogram covers %d values, want %d", total, p*perProc)
+	}
+	for pid := 1; pid < p; pid++ {
+		for b := 0; b < buckets; b++ {
+			if results[pid][b] != results[0][b] {
+				t.Fatalf("pid %d disagrees at bucket %d", pid, b)
+			}
+		}
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+		_, err := Histogram(c, []byte{1}, 0)
+		return err
+	})
+	if err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestMatVecOnConcurrentEngine(t *testing.T) {
+	tr := model.UCFTestbedN(4)
+	rng := rand.New(rand.NewSource(11))
+	m, n := 16, 8
+	a := randMatrix(rng, m*n)
+	x := randMatrix(rng, n)
+	want := seqMatVec(a, m, n, x)
+	var got []float64
+	var mu sync.Mutex
+	_, err := hbsp.NewConcurrent(tr).Run(func(c hbsp.Ctx) error {
+		var inA, inX []float64
+		if c.Self() == c.Tree().FastestLeaf() {
+			inA, inX = a, x
+		}
+		y, err := MatVec(c, inA, m, n, inX, true)
+		if y != nil {
+			mu.Lock()
+			got = y
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// fabricPure is a shorthand for tests that need a zero-overhead run.
+func fabricPure() fabric.Config { return fabric.PureModel() }

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/hbsp"
+)
+
+// CG solves the symmetric positive-definite system A·x = b by the
+// conjugate gradient method, fully distributed: each processor owns a
+// block of rows of A (sized by the workload policy) and the matching
+// segments of every vector. Per iteration:
+//
+//   - all-gather of the search-direction segments (every processor needs
+//     the whole vector for its row block),
+//   - local mat-vec over the owned rows (charged per flop),
+//   - two scalar all-reduces for the dot products.
+//
+// This is the canonical HBSP iterative kernel: compute scales with the
+// c_{i,j} shares while the all-gather and the two tiny reductions are
+// the superstep structure.
+type CGConfig struct {
+	// N is the system size; MaxIters caps iterations; Tolerance is the
+	// residual-norm target relative to ‖b‖.
+	N         int
+	MaxIters  int
+	Tolerance float64
+	// Balanced selects shares-proportional row ownership.
+	Balanced bool
+}
+
+// CGResult reports the outcome on every processor.
+type CGResult struct {
+	// X is this processor's segment of the solution.
+	X []float64
+	// Iters is the iterations executed; Residual the final relative
+	// residual norm.
+	Iters    int
+	Residual float64
+}
+
+// CG runs the solver; a(i, j) and b(i) sample the system (the same
+// functions on every processor, evaluated only for owned rows).
+func CG(c hbsp.Ctx, cfg CGConfig, a func(i, j int) float64, b func(i int) float64) (*CGResult, error) {
+	if cfg.N < 1 || cfg.MaxIters < 1 {
+		return nil, fmt.Errorf("apps: cg needs positive size and iterations, got %d/%d", cfg.N, cfg.MaxIters)
+	}
+	t := c.Tree()
+	rows := rowsFor(c, cfg.N, cfg.Balanced)
+	start := 0
+	for pid := 0; pid < c.Pid(); pid++ {
+		start += rows[pid]
+	}
+	mine := rows[c.Pid()]
+
+	// Materialize the owned rows.
+	block := make([]float64, mine*cfg.N)
+	for i := 0; i < mine; i++ {
+		for j := 0; j < cfg.N; j++ {
+			block[i*cfg.N+j] = a(start+i, j)
+		}
+	}
+	c.Charge(0.5 * float64(mine*cfg.N)) // assembly
+
+	// allGatherVec assembles the full vector from per-processor
+	// segments (pid order = row order).
+	allGatherVec := func(seg []float64, label string) ([]float64, error) {
+		parts, err := collective.AllGather(c, t.Root, packFloats(seg))
+		if err != nil {
+			return nil, fmt.Errorf("apps: cg %s: %w", label, err)
+		}
+		full := make([]float64, 0, cfg.N)
+		for pid := 0; pid < c.NProcs(); pid++ {
+			full = append(full, unpackFloats(parts[pid])...)
+		}
+		return full, nil
+	}
+	// dotAll computes a global dot product from local partials via an
+	// all-reduce of the bit-packed partial sums... floating sums cannot
+	// ride the int64 reduce exactly, so exchange partials with
+	// AllGather and fold locally — p tiny values, deterministic across
+	// processors.
+	dotAll := func(x, y []float64, label string) (float64, error) {
+		s := 0.0
+		for i := range x {
+			s += x[i] * y[i]
+		}
+		c.Charge(FlopCost * float64(len(x)))
+		parts, err := collective.AllGather(c, t.Root, packFloats([]float64{s}))
+		if err != nil {
+			return 0, fmt.Errorf("apps: cg %s: %w", label, err)
+		}
+		total := 0.0
+		for pid := 0; pid < c.NProcs(); pid++ {
+			total += unpackFloats(parts[pid])[0]
+		}
+		return total, nil
+	}
+	matvecLocal := func(full []float64) []float64 {
+		out := make([]float64, mine)
+		for i := 0; i < mine; i++ {
+			s := 0.0
+			for j := 0; j < cfg.N; j++ {
+				s += block[i*cfg.N+j] * full[j]
+			}
+			out[i] = s
+		}
+		c.Charge(FlopCost * float64(mine*cfg.N))
+		return out
+	}
+
+	x := make([]float64, mine)
+	r := make([]float64, mine)
+	for i := 0; i < mine; i++ {
+		r[i] = b(start + i)
+	}
+	p := append([]float64(nil), r...)
+	rr, err := dotAll(r, r, "r·r")
+	if err != nil {
+		return nil, err
+	}
+	bNorm := math.Sqrt(rr)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+
+	iters := 0
+	for iters < cfg.MaxIters && math.Sqrt(rr)/bNorm > cfg.Tolerance {
+		pFull, err := allGatherVec(p, "p")
+		if err != nil {
+			return nil, err
+		}
+		ap := matvecLocal(pFull)
+		pap, err := dotAll(p, ap, "p·Ap")
+		if err != nil {
+			return nil, err
+		}
+		if pap == 0 {
+			break
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		c.Charge(FlopCost * float64(2*mine))
+		rrNew, err := dotAll(r, r, "r·r'")
+		if err != nil {
+			return nil, err
+		}
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		c.Charge(FlopCost * float64(mine))
+		rr = rrNew
+		iters++
+	}
+	return &CGResult{X: x, Iters: iters, Residual: math.Sqrt(rr) / bNorm}, nil
+}

@@ -1,0 +1,255 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+)
+
+// testSystem is a small SPD system with a known structure: tridiagonal
+// Laplacian plus diagonal shift, b chosen so the solution is known by
+// direct solve.
+func laplacian(n int) (func(i, j int) float64, func(i int) float64) {
+	a := func(i, j int) float64 {
+		switch {
+		case i == j:
+			return 4
+		case i == j+1 || j == i+1:
+			return -1
+		default:
+			return 0
+		}
+	}
+	b := func(i int) float64 { return float64(i%5) + 1 }
+	return a, b
+}
+
+// solveDirect computes the reference solution by Gaussian elimination.
+func solveDirect(n int, a func(i, j int) float64, b func(i int) float64) []float64 {
+	m := make([][]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = a(i, j)
+		}
+		rhs[i] = b(i)
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			f := m[i][k] / m[k][k]
+			for j := k; j < n; j++ {
+				m[i][j] -= f * m[k][j]
+			}
+			rhs[i] -= f * rhs[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = rhs[i]
+		for j := i + 1; j < n; j++ {
+			x[i] -= m[i][j] * x[j]
+		}
+		x[i] /= m[i][i]
+	}
+	return x
+}
+
+func runCG(t *testing.T, tr *model.Tree, cfg CGConfig) ([]float64, *CGResult) {
+	t.Helper()
+	a, b := laplacian(cfg.N)
+	var full []float64
+	var res *CGResult
+	var mu sync.Mutex
+	runApp(t, tr, func(c hbsp.Ctx) error {
+		out, err := CG(c, cfg, a, b)
+		if err != nil {
+			return err
+		}
+		rootPid := c.Tree().Pid(c.Tree().FastestLeaf())
+		parts, err := collective.Gather(c, c.Tree().Root, rootPid, packFloats(out.X))
+		if err != nil {
+			return err
+		}
+		if parts != nil {
+			mu.Lock()
+			for pid := 0; pid < c.NProcs(); pid++ {
+				full = append(full, unpackFloats(parts[pid])...)
+			}
+			res = out
+			mu.Unlock()
+		}
+		return nil
+	})
+	return full, res
+}
+
+func TestCGSolvesSPDSystem(t *testing.T) {
+	for _, tr := range []*model.Tree{model.UCFTestbedN(5), model.Figure1Cluster()} {
+		cfg := CGConfig{N: 40, MaxIters: 200, Tolerance: 1e-10, Balanced: true}
+		got, res := runCG(t, tr, cfg)
+		if len(got) != cfg.N {
+			t.Fatalf("%s: %d values, want %d", tr.Root.Name, len(got), cfg.N)
+		}
+		a, b := laplacian(cfg.N)
+		want := solveDirect(cfg.N, a, b)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Errorf("%s: x[%d] = %v, want %v", tr.Root.Name, i, got[i], want[i])
+			}
+		}
+		if res.Residual > cfg.Tolerance {
+			t.Errorf("%s: residual %v above tolerance", tr.Root.Name, res.Residual)
+		}
+		// CG on an SPD tridiagonal system converges in far fewer than N
+		// iterations.
+		if res.Iters >= cfg.MaxIters {
+			t.Errorf("%s: hit the iteration cap", tr.Root.Name)
+		}
+	}
+}
+
+func TestCGBalancedBeatsEqual(t *testing.T) {
+	tr := model.UCFTestbed()
+	measure := func(balanced bool) float64 {
+		a, b := laplacian(96)
+		cfg := CGConfig{N: 96, MaxIters: 12, Tolerance: 0, Balanced: balanced}
+		rep := runApp(t, tr, func(c hbsp.Ctx) error {
+			_, err := CG(c, cfg, a, b)
+			return err
+		})
+		return rep.Total
+	}
+	equal, balanced := measure(false), measure(true)
+	if balanced >= equal {
+		t.Errorf("balanced CG %v not faster than equal %v", balanced, equal)
+	}
+}
+
+func TestCGRejectsBadConfig(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := hbsp.RunVirtual(tr, fabricPure(), func(c hbsp.Ctx) error {
+		_, err := CG(c, CGConfig{N: 0, MaxIters: 5}, nil, nil)
+		return err
+	})
+	if err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+// --- SpMV tests ---
+
+// randomCSR builds a sparse matrix with skewed row densities: early
+// rows are dense, late rows sparse, so nnz-balanced partitioning
+// differs sharply from row-balanced.
+func randomCSR(seed int64, rows, cols int) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < rows; i++ {
+		density := 1 + (rows-i)*8/rows // 9..1 nnz per row
+		seen := map[int]bool{}
+		for k := 0; k < density; k++ {
+			j := rng.Intn(cols)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, rng.Float64()*2-1)
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+func seqSpMV(m *CSR, x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[i] += m.Val[k] * x[m.ColIdx[k]]
+		}
+	}
+	return y
+}
+
+func TestSpMVMatchesSequential(t *testing.T) {
+	for _, balanced := range []bool{false, true} {
+		tr := model.UCFTestbedN(6)
+		m := randomCSR(3, 57, 40)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		x := randMatrix(rand.New(rand.NewSource(4)), 40)
+		want := seqSpMV(m, x)
+		var got []float64
+		var mu sync.Mutex
+		runApp(t, tr, func(c hbsp.Ctx) error {
+			var inM *CSR
+			var inX []float64
+			if c.Self() == c.Tree().FastestLeaf() {
+				inM, inX = m, x
+			}
+			y, err := SpMV(c, inM, inX, balanced)
+			if err != nil {
+				return err
+			}
+			if y != nil {
+				mu.Lock()
+				got = y
+				mu.Unlock()
+			}
+			return nil
+		})
+		if len(got) != m.Rows {
+			t.Fatalf("balanced=%v: %d rows, want %d", balanced, len(got), m.Rows)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("balanced=%v: y[%d] = %v, want %v", balanced, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpMVPartitionBalancesNNZ(t *testing.T) {
+	// The greedy nnz partition must not leave any machine with more
+	// than ~2x its fair nnz share under equal policy.
+	tr := model.UCFTestbedN(4)
+	m := randomCSR(9, 200, 100)
+	_, err := hbsp.RunVirtual(tr, fabricPure(), func(c hbsp.Ctx) error {
+		rows := nnzPartition(c, m, false)
+		fair := float64(m.NNZ()) / 4
+		r0 := 0
+		for pid, rc := range rows {
+			nnz := float64(m.RowPtr[r0+rc] - m.RowPtr[r0])
+			if nnz > 2.2*fair {
+				return fmt.Errorf("pid %d got %v nnz, fair %v", pid, nnz, fair)
+			}
+			r0 += rc
+		}
+		if r0 != m.Rows {
+			return fmt.Errorf("partition covers %d of %d rows", r0, m.Rows)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRValidate(t *testing.T) {
+	bad := &CSR{Rows: 2, Cols: 2, RowPtr: []int{0, 1}, ColIdx: []int{0}, Val: []float64{1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("short rowptr accepted")
+	}
+	bad2 := &CSR{Rows: 1, Cols: 2, RowPtr: []int{0, 1}, ColIdx: []int{5}, Val: []float64{1}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}

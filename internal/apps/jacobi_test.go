@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+)
+
+// solveJacobi runs the distributed solver and stitches the solution.
+func solveJacobi(t *testing.T, tr *model.Tree, cfg JacobiConfig) ([]float64, int, float64) {
+	t.Helper()
+	var full []float64
+	var sweeps int
+	var residual float64
+	var mu sync.Mutex
+	runApp(t, tr, func(c hbsp.Ctx) error {
+		res, err := Jacobi(c, cfg, func(i int) float64 { return -2 })
+		if err != nil {
+			return err
+		}
+		rootPid := c.Tree().Pid(c.Tree().FastestLeaf())
+		parts, err := collective.Gather(c, c.Tree().Root, rootPid, packFloats(res.Block))
+		if err != nil {
+			return err
+		}
+		if parts != nil {
+			mu.Lock()
+			for pid := 0; pid < c.NProcs(); pid++ {
+				full = append(full, unpackFloats(parts[pid])...)
+			}
+			sweeps = res.Sweeps
+			residual = res.Residual
+			mu.Unlock()
+		}
+		return nil
+	})
+	return full, sweeps, residual
+}
+
+func TestJacobiSolvesPoisson(t *testing.T) {
+	// u'' = -2 with zero boundaries has the exact solution u = x(1-x).
+	for _, tr := range []*model.Tree{model.UCFTestbedN(6), model.Figure1Cluster()} {
+		cfg := JacobiConfig{
+			Size: 63, MaxSweeps: 20000, Tolerance: 1e-9, CheckEvery: 50,
+			Balanced: true, PointCost: 1,
+		}
+		u, sweeps, _ := solveJacobi(t, tr, cfg)
+		if len(u) != cfg.Size {
+			t.Fatalf("%s: solution has %d points, want %d", tr.Root.Name, len(u), cfg.Size)
+		}
+		h := 1.0 / float64(cfg.Size+1)
+		worst := 0.0
+		for i, v := range u {
+			x := float64(i+1) * h
+			if d := math.Abs(v - x*(1-x)); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-4 {
+			t.Errorf("%s: max error %v after %d sweeps", tr.Root.Name, worst, sweeps)
+		}
+	}
+}
+
+func TestJacobiConvergesBeforeCap(t *testing.T) {
+	tr := model.UCFTestbedN(4)
+	cfg := JacobiConfig{Size: 31, MaxSweeps: 50000, Tolerance: 1e-10, CheckEvery: 25, Balanced: true, PointCost: 1}
+	_, sweeps, residual := solveJacobi(t, tr, cfg)
+	if sweeps >= cfg.MaxSweeps {
+		t.Errorf("hit the sweep cap (%d) without converging (residual %v)", sweeps, residual)
+	}
+	if residual >= cfg.Tolerance {
+		t.Errorf("residual %v above tolerance", residual)
+	}
+}
+
+func TestJacobiBalancedBeatsEqualOnComputeBoundGrid(t *testing.T) {
+	// High per-point cost makes the sweep compute-bound, so shares-
+	// proportional rows must win.
+	tr := model.UCFTestbed()
+	measure := func(balanced bool) float64 {
+		cfg := JacobiConfig{Size: 2000, MaxSweeps: 40, Tolerance: 0, CheckEvery: 40,
+			Balanced: balanced, PointCost: 10}
+		var total float64
+		rep := runApp(t, tr, func(c hbsp.Ctx) error {
+			_, err := Jacobi(c, cfg, func(i int) float64 { return -2 })
+			return err
+		})
+		total = rep.Total
+		return total
+	}
+	equal, balanced := measure(false), measure(true)
+	if balanced >= equal {
+		t.Errorf("balanced sweep %v not faster than equal %v", balanced, equal)
+	}
+}
+
+func TestJacobiRejectsBadConfig(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := hbsp.RunVirtual(tr, fabricPure(), func(c hbsp.Ctx) error {
+		_, err := Jacobi(c, JacobiConfig{Size: 0, MaxSweeps: 10}, func(int) float64 { return 0 })
+		return err
+	})
+	if err == nil {
+		t.Error("size 0 accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package apps
+
+import (
+	"fmt"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/hbsp"
+)
+
+// Sparse matrix–vector multiply over CSR, with the heterogeneous twist
+// that matters in practice: rows are apportioned by *nonzeros per unit
+// of machine speed*, not by row count, because the flops of a sparse row
+// follow its nnz. The coordinator owns the matrix, scatters row blocks
+// chosen so that every machine's nnz/speed is near-equal, broadcasts x,
+// and gathers y — Bisseling's sparse BSP recipe (reference [2] of the
+// paper) under HBSP^k shares.
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the nonzero count.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Validate checks structural invariants.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("apps: csr rowptr has %d entries for %d rows", len(m.RowPtr), m.Rows)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.Val) || len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("apps: csr shape inconsistent")
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("apps: csr rowptr not monotone at %d", i)
+		}
+	}
+	for _, j := range m.ColIdx {
+		if j < 0 || j >= m.Cols {
+			return fmt.Errorf("apps: csr column %d out of range", j)
+		}
+	}
+	return nil
+}
+
+// nnzPartition splits rows into contiguous blocks whose nnz loads are
+// proportional to the machines' shares (or equal when balanced is
+// false): a greedy sweep assigning rows until each processor's target
+// weight is met.
+func nnzPartition(c hbsp.Ctx, m *CSR, balanced bool) []int {
+	t := c.Tree()
+	p := c.NProcs()
+	rows := make([]int, p)
+	total := float64(m.NNZ())
+	if total == 0 {
+		return rowsFor(c, m.Rows, balanced)
+	}
+	targets := make([]float64, p)
+	for pid := 0; pid < p; pid++ {
+		if balanced {
+			targets[pid] = total * t.Leaf(pid).Share
+		} else {
+			targets[pid] = total / float64(p)
+		}
+	}
+	pid, acc := 0, 0.0
+	for r := 0; r < m.Rows; r++ {
+		w := float64(m.RowPtr[r+1] - m.RowPtr[r])
+		// Move to the next processor when the current one met its
+		// target — but never leave later processors with no budget.
+		for pid < p-1 && acc >= targets[pid] {
+			pid++
+			acc = 0
+		}
+		rows[pid]++
+		acc += w
+	}
+	return rows
+}
+
+// SpMV computes y = A·x for a CSR matrix held by the coordinator.
+// Only the coordinator passes m and x; it receives y, others nil.
+func SpMV(c hbsp.Ctx, m *CSR, x []float64, balanced bool) ([]float64, error) {
+	t := c.Tree()
+	rootPid := t.Pid(t.FastestLeaf())
+	scope := t.Root
+
+	// The partition must be computed identically everywhere, so the
+	// coordinator broadcasts the row counts (tiny) first.
+	var rowsWire []byte
+	if c.Pid() == rootPid {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if len(x) != m.Cols {
+			return nil, fmt.Errorf("apps: x has %d values for %d columns", len(x), m.Cols)
+		}
+		rows := nnzPartition(c, m, balanced)
+		enc := make([]float64, len(rows))
+		for i, r := range rows {
+			enc[i] = float64(r)
+		}
+		rowsWire = packFloats(enc)
+	}
+	rowsRaw, err := collective.BcastTwoPhase(c, scope, rootPid, rowsWire, nil)
+	if err != nil {
+		return nil, err
+	}
+	rowsF := unpackFloats(rowsRaw)
+	rows := make([]int, len(rowsF))
+	for i, v := range rowsF {
+		rows[i] = int(v)
+	}
+
+	// Scatter CSR blocks: per-processor frame of (rowptr-rebased,
+	// colidx, val) packed as float64s for simplicity of the wire.
+	var pieces map[int][]byte
+	if c.Pid() == rootPid {
+		pieces = make(map[int][]byte, c.NProcs())
+		r0 := 0
+		for pid, rcount := range rows {
+			lo, hi := m.RowPtr[r0], m.RowPtr[r0+rcount]
+			blockLen := rcount + 1 + (hi - lo) + (hi - lo)
+			enc := make([]float64, 0, blockLen)
+			for i := r0; i <= r0+rcount; i++ {
+				enc = append(enc, float64(m.RowPtr[i]-m.RowPtr[r0]))
+			}
+			for _, j := range m.ColIdx[lo:hi] {
+				enc = append(enc, float64(j))
+			}
+			enc = append(enc, m.Val[lo:hi]...)
+			pieces[pid] = packFloats(enc)
+			r0 += rcount
+		}
+	}
+	blockRaw, err := collective.Scatter(c, scope, rootPid, pieces)
+	if err != nil {
+		return nil, err
+	}
+	block := unpackFloats(blockRaw)
+	myRows := rows[c.Pid()]
+	ptr := block[:myRows+1]
+	nnz := int(ptr[myRows])
+	cols := block[myRows+1 : myRows+1+nnz]
+	vals := block[myRows+1+nnz:]
+
+	// Broadcast x.
+	var xWire []byte
+	if c.Pid() == rootPid {
+		xWire = packFloats(x)
+	}
+	xRaw, err := collective.BcastTwoPhase(c, scope, rootPid, xWire, nil)
+	if err != nil {
+		return nil, err
+	}
+	xv := unpackFloats(xRaw)
+
+	// Local multiply: flops follow this block's nnz.
+	y := make([]float64, myRows)
+	for i := 0; i < myRows; i++ {
+		s := 0.0
+		for k := int(ptr[i]); k < int(ptr[i+1]); k++ {
+			s += vals[k] * xv[int(cols[k])]
+		}
+		y[i] = s
+	}
+	c.Charge(FlopCost * float64(nnz))
+
+	parts, err := collective.Gather(c, scope, rootPid, packFloats(y))
+	if err != nil {
+		return nil, err
+	}
+	if c.Pid() != rootPid {
+		return nil, nil
+	}
+	out := make([]float64, 0, m.Rows)
+	for pid := 0; pid < c.NProcs(); pid++ {
+		out = append(out, unpackFloats(parts[pid])...)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package bytemark
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hbspk/internal/model"
+	"hbspk/internal/trace"
+)
+
+// Index is one machine's measured composite score: iterations per
+// virtual second relative to the reference machine, BYTEmark-style
+// (larger is faster). Because measurement is noisy, Index is an
+// imperfect estimate of 1/CompSlowdown — the imperfection the paper
+// observes when the second fastest processor's c_j comes out too large.
+type Index struct {
+	Machine   *model.Machine
+	Composite float64
+	PerKernel map[string]float64
+}
+
+// Suite runs the ten kernels against a machine tree.
+type Suite struct {
+	// Scale sizes the kernels (1 = quick, 10 = thorough).
+	Scale int
+	// NoiseAmp is the relative amplitude of per-kernel measurement
+	// error, modeling a non-dedicated machine; 0 measures exactly.
+	NoiseAmp float64
+	// Seed makes measurement errors reproducible.
+	Seed int64
+}
+
+// DefaultSuite mirrors the paper's setup: moderate scale with a few
+// percent of measurement noise from the non-dedicated cluster.
+func DefaultSuite(seed int64) Suite { return Suite{Scale: 2, NoiseAmp: 0.08, Seed: seed} }
+
+// Measure runs the suite "on" every leaf of the tree: kernels execute
+// for real (their outputs are self-checked), and each machine's
+// throughput is its operation count divided by the virtual duration
+// ops·CompSlowdown·(1+noise). The composite is the geometric mean over
+// kernels, normalized so the best machine scores 1.
+func (s Suite) Measure(t *model.Tree) ([]Index, error) {
+	if s.Scale < 1 {
+		s.Scale = 1
+	}
+	kernels := Kernels()
+	rng := rand.New(rand.NewSource(s.Seed))
+	leaves := t.Leaves()
+	out := make([]Index, len(leaves))
+	for li, leaf := range leaves {
+		per := make(map[string]float64, len(kernels))
+		logSum, wSum := 0.0, 0.0
+		for _, k := range kernels {
+			res, err := k.Run(s.Seed+int64(li), s.Scale)
+			if err != nil {
+				return nil, fmt.Errorf("bytemark: %s on %s: %w", k.Name, leaf.Name, err)
+			}
+			noise := 1.0
+			if s.NoiseAmp > 0 {
+				noise = 1 + s.NoiseAmp*(rng.Float64()*2-1)
+			}
+			duration := res.Ops * leaf.CompSlowdown * noise
+			throughput := res.Ops / duration // = 1/(slowdown·noise)
+			per[k.Name] = throughput
+			logSum += k.Weight * math.Log(throughput)
+			wSum += k.Weight
+		}
+		out[li] = Index{Machine: leaf, Composite: math.Exp(logSum / wSum), PerKernel: per}
+	}
+	best := 0.0
+	for _, ix := range out {
+		if ix.Composite > best {
+			best = ix.Composite
+		}
+	}
+	for i := range out {
+		out[i].Composite /= best
+		for k := range out[i].PerKernel {
+			out[i].PerKernel[k] /= best
+		}
+	}
+	return out, nil
+}
+
+// Ranking orders the indices fastest-first.
+func Ranking(ixs []Index) []Index {
+	out := append([]Index(nil), ixs...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Composite > out[j].Composite })
+	return out
+}
+
+// ApplyShares overwrites the tree's c_{i,j} from measured indices:
+// leaf shares proportional to the composite score (the faster the
+// machine looks, the more data it receives), renormalized by
+// Tree.Normalize. This is the paper's balanced-workload estimation: "c_i
+// is computed using the BYTEmark results" (§5.1) — including its error.
+func ApplyShares(t *model.Tree, ixs []Index) {
+	total := 0.0
+	for _, ix := range ixs {
+		total += ix.Composite
+	}
+	for _, ix := range ixs {
+		ix.Machine.Share = ix.Composite / total
+	}
+	t.Normalize()
+}
+
+// Table renders the measured indices as a ranking table.
+func Table(ixs []Index) *trace.Table {
+	tb := trace.NewTable("BYTEmark ranking", "rank", "machine", "index", "true slowdown")
+	for rank, ix := range Ranking(ixs) {
+		tb.AddF(rank, ix.Machine.Name, ix.Composite, ix.Machine.CompSlowdown)
+	}
+	return tb
+}
+
+// KernelTable renders the per-kernel indices of every machine — the
+// full BYTEmark report card, one row per machine, one column per
+// kernel, ordered fastest-first.
+func KernelTable(ixs []Index) *trace.Table {
+	kernels := Kernels()
+	header := []string{"machine", "composite"}
+	for _, k := range kernels {
+		header = append(header, k.Name)
+	}
+	tb := trace.NewTable("BYTEmark per-kernel indices", header...)
+	for _, ix := range Ranking(ixs) {
+		row := []interface{}{ix.Machine.Name, ix.Composite}
+		for _, k := range kernels {
+			row = append(row, ix.PerKernel[k.Name])
+		}
+		tb.AddF(row...)
+	}
+	return tb
+}

@@ -1,0 +1,132 @@
+package collective
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hbspk/internal/cost"
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+)
+
+func TestBcastBinomialEveryoneHasData(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 10} {
+		tr := model.UCFTestbedN(p)
+		data := payloadFor(42, 4096)
+		for _, root := range []int{0, p - 1, p / 2} {
+			results := make([][]byte, p)
+			runPure(t, tr, func(c hbsp.Ctx) error {
+				var in []byte
+				if c.Pid() == root {
+					in = data
+				}
+				out, err := BcastBinomial(c, c.Tree().Root, root, in)
+				if err != nil {
+					return err
+				}
+				results[c.Pid()] = out
+				return nil
+			})
+			for pid, r := range results {
+				if !bytes.Equal(r, data) {
+					t.Errorf("p=%d root=%d: pid %d wrong data (%d bytes)", p, root, pid, len(r))
+				}
+			}
+		}
+	}
+}
+
+func TestBcastBinomialStepCount(t *testing.T) {
+	tr := model.UCFTestbedN(10)
+	root := tr.Pid(tr.FastestLeaf())
+	rep := func() int {
+		r, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+			var in []byte
+			if c.Pid() == root {
+				in = make([]byte, 100)
+			}
+			_, err := BcastBinomial(c, c.Tree().Root, root, in)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Supersteps()
+	}()
+	if want := 4; rep != want { // ceil(log2 10)
+		t.Errorf("steps = %d, want %d", rep, want)
+	}
+}
+
+func TestBcastBinomialCostMatchesAnalytic(t *testing.T) {
+	tr := model.UCFTestbedN(8)
+	root := tr.Pid(tr.FastestLeaf())
+	n := 50000
+	rep, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+		var in []byte
+		if c.Pid() == root {
+			in = make([]byte, n)
+		}
+		_, err := BcastBinomial(c, c.Tree().Root, root, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cost.BcastBinomial(tr, root, n).Total()
+	if math.Abs(rep.Total-want) > 1e-6 {
+		t.Errorf("simulated %v != predicted %v", rep.Total, want)
+	}
+}
+
+func TestBinomialVsOneAndTwoPhaseRegimes(t *testing.T) {
+	// Small n: binomial's log p messages beat one-phase's p−1 fan-out
+	// only when L doesn't dominate; large n: two-phase's bounded byte
+	// movement wins over binomial's log p full copies.
+	tr := model.UCFTestbedN(10)
+	root := tr.Pid(tr.FastestLeaf())
+	big := 1000000
+	bin := cost.BcastBinomial(tr, root, big).Total()
+	two := cost.BcastTwoPhaseFlat(tr, root, cost.EqualDist(tr, big)).Total()
+	one := cost.BcastOnePhaseFlat(tr, root, big).Total()
+	if two >= bin {
+		t.Errorf("large n: two-phase %v should beat binomial %v", two, bin)
+	}
+	if bin >= one {
+		t.Errorf("large n: binomial %v should beat one-phase %v", bin, one)
+	}
+}
+
+// Property: the binomial broadcast delivers the exact payload for any
+// machine size and root.
+func TestPropertyBinomialComplete(t *testing.T) {
+	f := func(seed int64, pRaw, rootRaw uint8) bool {
+		p := int(pRaw%10) + 1
+		root := int(rootRaw) % p
+		tr := model.UCFTestbedN(p)
+		data := payloadFor(int(seed%251), 100)
+		ok := true
+		_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+			var in []byte
+			if c.Pid() == root {
+				in = data
+			}
+			out, err := BcastBinomial(c, c.Tree().Root, root, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(out, data) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package collective implements the paper's collective communication
+// algorithms (§4) as HBSPlib programs: gather and one-to-all broadcast
+// in their HBSP^1 (flat) and hierarchical forms, plus the wider suite
+// described in the companion thesis — scatter, all-gather, reduce,
+// all-reduce, scan, and total exchange.
+//
+// All operations are SPMD: every processor of the operation's scope
+// calls the same function with its local data; results land on the
+// processors the operation defines (the root for gather/reduce, everyone
+// for broadcast/all-gather/...). The two design principles of §4.1 are
+// baked in: coordinators are the fastest machines of their subtrees, and
+// balanced variants move data in proportion to the c_{i,j} shares.
+package collective
+
+import (
+	"fmt"
+
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/pvm"
+)
+
+// participants returns the pids of the leaves under the scope, in pid
+// order. The position of a pid in this slice is its participant index.
+func participants(c hbsp.Ctx, scope *model.Machine) []int {
+	leaves := scope.Leaves()
+	pids := make([]int, len(leaves))
+	for i, l := range leaves {
+		pids[i] = c.Tree().Pid(l)
+	}
+	// Leaves() is left-to-right, which matches pid order by
+	// construction of the tree's pid assignment.
+	return pids
+}
+
+// indexOf returns the participant index of pid, or -1.
+func indexOf(pids []int, pid int) int {
+	for i, p := range pids {
+		if p == pid {
+			return i
+		}
+	}
+	return -1
+}
+
+// framed accumulates (origin pid, piece) entries for one wire message,
+// using the pvm typed buffer as the frame format.
+type framed struct{ buf *pvm.Buffer }
+
+func newFrame() *framed { return &framed{buf: pvm.NewBuffer()} }
+
+func (f *framed) add(pid int, piece []byte) {
+	f.buf.PackInt32(int32(pid))
+	f.buf.PackBytes(piece)
+}
+
+func (f *framed) bytes() []byte { return f.buf.Bytes() }
+
+// eachPiece parses a frame built by framed, calling fn per entry. Pieces
+// alias the payload.
+func eachPiece(payload []byte, fn func(pid int, piece []byte)) error {
+	buf := pvm.Wrap(payload)
+	for buf.Remaining() > 0 {
+		pid, err := buf.UnpackInt32()
+		if err != nil {
+			return fmt.Errorf("collective: corrupt frame: %w", err)
+		}
+		piece, err := buf.UnpackBytes()
+		if err != nil {
+			return fmt.Errorf("collective: corrupt frame: %w", err)
+		}
+		fn(int(pid), piece)
+	}
+	return nil
+}
+
+// Dist describes per-participant piece sizes for the two-phase
+// broadcast's first phase. EqualPieces and BalancedPieces construct the
+// §5.1 policies.
+type Dist []int
+
+// EqualPieces splits n bytes evenly over the participants of the scope
+// (c_j = 1/p), leftovers to the lowest indexes.
+func EqualPieces(c hbsp.Ctx, scope *model.Machine, n int) Dist {
+	p := len(scope.Leaves())
+	d := make(Dist, p)
+	q, r := n/p, n%p
+	for i := range d {
+		d[i] = q
+		if i < r {
+			d[i]++
+		}
+	}
+	return d
+}
+
+// BalancedPieces splits n proportionally to the participants' c_{i,j}
+// shares, renormalized within the scope; the rounding residue goes to
+// the scope coordinator.
+func BalancedPieces(c hbsp.Ctx, scope *model.Machine, n int) Dist {
+	leaves := scope.Leaves()
+	total := 0.0
+	for _, l := range leaves {
+		total += l.Share
+	}
+	d := make(Dist, len(leaves))
+	assigned := 0
+	for i, l := range leaves {
+		d[i] = int(float64(n) * l.Share / total)
+		assigned += d[i]
+	}
+	if rest := n - assigned; rest > 0 {
+		co := scope.Coordinator()
+		for i, l := range leaves {
+			if l == co {
+				d[i] += rest
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Total returns the distribution's byte sum.
+func (d Dist) Total() int {
+	n := 0
+	for _, v := range d {
+		n += v
+	}
+	return n
+}
+
+// cut slices data into len(d) pieces with sizes d. It panics if the
+// sizes exceed the data; callers construct d from len(data).
+func (d Dist) cut(data []byte) [][]byte {
+	out := make([][]byte, len(d))
+	off := 0
+	for i, n := range d {
+		out[i] = data[off : off+n]
+		off += n
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package collective
+
+import (
+	"fmt"
+
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/pvm"
+)
+
+const (
+	tagReduce = 6
+	tagScan   = 7
+)
+
+// Op is an associative, commutative element-wise reduction operator over
+// int64 vectors. Cost is the combining cost per element in
+// fastest-machine time units, charged to whichever machine combines.
+type Op struct {
+	Name  string
+	Apply func(a, b int64) int64
+	Cost  float64
+}
+
+// Sum, Max and Min are the standard reduction operators.
+var (
+	Sum = Op{Name: "sum", Apply: func(a, b int64) int64 { return a + b }, Cost: 0.05}
+	Max = Op{Name: "max", Apply: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, Cost: 0.05}
+	Min = Op{Name: "min", Apply: func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}, Cost: 0.05}
+)
+
+// combine folds src into dst element-wise, charging the combining cost.
+func (op Op) combine(c hbsp.Ctx, dst, src []int64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("collective: reduce width mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] = op.Apply(dst[i], src[i])
+	}
+	c.Charge(op.Cost * float64(len(dst)))
+	return nil
+}
+
+func packVec(v []int64) []byte {
+	return pvm.NewBuffer().PackInt64Slice(v).Bytes()
+}
+
+func unpackVec(p []byte) ([]int64, error) {
+	return pvm.Wrap(p).UnpackInt64Slice()
+}
+
+// Reduce combines every participant's vector at the processor with pid
+// root over the scope's subtree, in one super^i-step: all vectors travel
+// to the root, which folds them in pid order. Non-roots return nil.
+func Reduce(c hbsp.Ctx, scope *model.Machine, root int, local []int64, op Op) ([]int64, error) {
+	if c.Pid() != root {
+		if err := c.Send(root, tagReduce, packVec(local)); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Sync(scope, "reduce"); err != nil {
+		return nil, err
+	}
+	if c.Pid() != root {
+		return nil, nil
+	}
+	acc := append([]int64(nil), local...)
+	for _, m := range c.Moves() {
+		if m.Tag != tagReduce {
+			continue
+		}
+		v, err := unpackVec(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.combine(c, acc, v); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// ReduceHier folds vectors up the tree: each cluster coordinator
+// combines its children's partials (sibling clusters concurrently), so
+// only one combined vector per cluster crosses each upper link — the
+// hierarchical win on slow wide-area networks. The machine's fastest
+// processor returns the result; others return nil.
+func ReduceHier(c hbsp.Ctx, local []int64, op Op) ([]int64, error) {
+	t := c.Tree()
+	acc := append([]int64(nil), local...)
+	carrying := true
+	for lvl := 1; lvl <= t.K(); lvl++ {
+		scope := enclosingScope(t, c.Self(), lvl)
+		if scope == nil {
+			continue
+		}
+		rootPid := t.Pid(scope.Coordinator())
+		if c.Pid() != rootPid && carrying {
+			if err := c.Send(rootPid, tagReduce, packVec(acc)); err != nil {
+				return nil, err
+			}
+			carrying = false
+		}
+		if err := c.Sync(scope, fmt.Sprintf("reduce^%d", lvl)); err != nil {
+			return nil, err
+		}
+		if c.Pid() == rootPid {
+			for _, m := range c.Moves() {
+				if m.Tag != tagReduce {
+					continue
+				}
+				v, err := unpackVec(m.Payload)
+				if err != nil {
+					return nil, err
+				}
+				if err := op.combine(c, acc, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if c.Self() == t.FastestLeaf() {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// AllReduce is ReduceHier followed by a hierarchical broadcast of the
+// result: every processor returns the combined vector.
+func AllReduce(c hbsp.Ctx, local []int64, op Op) ([]int64, error) {
+	red, err := ReduceHier(c, local, op)
+	if err != nil {
+		return nil, err
+	}
+	var wire []byte
+	if red != nil {
+		wire = packVec(red)
+	}
+	out, err := BcastHier(c, wire, false)
+	if err != nil {
+		return nil, err
+	}
+	return unpackVec(out)
+}
+
+// Scan computes the inclusive prefix reduction over pid order within the
+// scope: processor with participant index i ends with the fold of
+// participants 0..i. Two super^i-steps: gather at the scope coordinator,
+// which computes every prefix (charging (p-1)·width combines), then
+// scatter of prefix i to participant i.
+func Scan(c hbsp.Ctx, scope *model.Machine, local []int64, op Op) ([]int64, error) {
+	root := c.Tree().Pid(scope.Coordinator())
+	gathered, err := Gather(c, scope, root, packVec(local))
+	if err != nil {
+		return nil, err
+	}
+	var pieces map[int][]byte
+	if c.Pid() == root {
+		pids := participants(c, scope)
+		pieces = make(map[int][]byte, len(pids))
+		var acc []int64
+		for _, pid := range pids {
+			v, err := unpackVec(gathered[pid])
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = append([]int64(nil), v...)
+			} else {
+				if err := op.combine(c, acc, v); err != nil {
+					return nil, err
+				}
+			}
+			pieces[pid] = packVec(acc)
+		}
+	}
+	out, err := Scatter(c, scope, root, pieces)
+	if err != nil {
+		return nil, err
+	}
+	return unpackVec(out)
+}

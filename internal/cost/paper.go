@@ -1,0 +1,178 @@
+package cost
+
+import (
+	"math"
+
+	"hbspk/internal/model"
+)
+
+// This file carries the paper's simplified closed-form costs (§4.2–§4.4)
+// and the analyses built on them: the one-phase/two-phase broadcast
+// crossover and the penalty of hierarchy. The exact flow-based
+// breakdowns in collectives.go are preferred for prediction; these forms
+// are the ones the paper states, kept for comparison and for the
+// analytical experiments.
+
+// Gather1Paper is the §4.2 result: with balanced workloads
+// (r_{0,j}·c_{0,j} < 1) the HBSP^1 gather costs g·n + L_{1,0}.
+func Gather1Paper(t *model.Tree, n int) float64 {
+	return t.G*float64(n) + t.Root.SyncCost
+}
+
+// Gather2Paper is the §4.3 result for an HBSP^2 machine with balanced
+// workloads: the slowest cluster's HBSP^1 gather plus a g·n + L_{2,0}
+// super²-step.
+func Gather2Paper(t *model.Tree, n int) float64 {
+	super1 := 0.0
+	for _, cluster := range t.Root.Children {
+		if cluster.IsLeaf() {
+			continue
+		}
+		x := float64(n) * cluster.Share
+		if c := t.G*x + cluster.SyncCost; c > super1 {
+			super1 = c
+		}
+	}
+	return super1 + t.G*float64(n) + t.Root.SyncCost
+}
+
+// Bcast1OnePhasePaper is the §4.4 one-phase cost. The paper writes
+// g·n·m + L_{1,0} with m the number of processors; with the no-self-send
+// convention of §5.2 the root serves m−1 destinations, so we use m−1.
+func Bcast1OnePhasePaper(t *model.Tree, n int) float64 {
+	m := float64(t.NProcs())
+	return t.G*float64(n)*(m-1) + t.Root.SyncCost
+}
+
+// Bcast1TwoPhasePaper is the §4.4 two-phase cost
+// g·n·(1 + r_{0,s}) + 2·L_{1,0}, where r_{0,s} is the slowest
+// processor's communication slowdown.
+func Bcast1TwoPhasePaper(t *model.Tree, n int) float64 {
+	rs := t.SlowestLeaf().CommSlowdown
+	return t.G*float64(n)*(1+rs) + 2*t.Root.SyncCost
+}
+
+// slowestClusterR returns r_{1,s}: the largest communication slowdown
+// among the root's children, viewed as level-1 machines.
+func slowestClusterR(t *model.Tree) float64 {
+	rs := 0.0
+	for _, c := range t.Root.Children {
+		if c.CommSlowdown > rs {
+			rs = c.CommSlowdown
+		}
+	}
+	return rs
+}
+
+// Bcast2OnePhaseSuper2Paper is the §4.4 super²-step cost of the
+// one-phase HBSP^2 broadcast: g·max{r_{1,s}·n, r_{2,0}·n·m_{2,0}} +
+// L_{2,0} (the root's own r is 1 after normalization).
+func Bcast2OnePhaseSuper2Paper(t *model.Tree, n int) float64 {
+	m := float64(len(t.Root.Children))
+	rs := slowestClusterR(t)
+	r20 := t.FastestLeaf().CommSlowdown // = 1
+	return t.G*math.Max(rs*float64(n), r20*float64(n)*m) + t.Root.SyncCost
+}
+
+// Bcast2TwoPhaseSuper2Paper is the §4.4 cost of the two super²-steps of
+// the two-phase HBSP^2 broadcast: the root scatters n/m_{2,0} to the
+// level-1 coordinators, which then exchange their pieces. Per the paper:
+// g·r_{1,s}·n·(1/m + 1) + 2·L_{2,0} when r_{1,s} > m_{2,0}, otherwise
+// g·n·(r_{1,s} + r_{2,0}) + 2·L_{2,0}.
+func Bcast2TwoPhaseSuper2Paper(t *model.Tree, n int) float64 {
+	m := float64(len(t.Root.Children))
+	rs := slowestClusterR(t)
+	r20 := t.FastestLeaf().CommSlowdown // = 1
+	L := t.Root.SyncCost
+	if rs > m {
+		return t.G*rs*float64(n)*(1/m+1) + 2*L
+	}
+	return t.G*float64(n)*(rs+r20) + 2*L
+}
+
+// TwoPhaseWins reports whether the two-phase HBSP^1 broadcast beats the
+// one-phase broadcast for the given problem size, per the paper's
+// formulas: g·n·(1 + r_s) + 2L < g·n·(m−1)·r_root + L reduces to
+// g·n·(m − 2 − r_s) > L.
+func TwoPhaseWins(t *model.Tree, n int) bool {
+	return Bcast1TwoPhasePaper(t, n) < Bcast1OnePhasePaper(t, n)
+}
+
+// TwoPhaseCrossoverSize returns the problem size n* above which the
+// two-phase HBSP^1 broadcast wins, or +Inf if it never does (the slowest
+// machine is so slow that r_{0,s} ≥ m − 2, the paper's "it may be more
+// appropriate not to include that machine in the computation" regime).
+func TwoPhaseCrossoverSize(t *model.Tree) float64 {
+	m := float64(t.NProcs())
+	rs := t.SlowestLeaf().CommSlowdown
+	denom := t.G * (m - 2 - rs)
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return t.Root.SyncCost / denom
+}
+
+// HierarchyPenalty quantifies §3.4's "penalty associated with using a
+// particular heterogeneous environment" for the gather: the ratio of the
+// hierarchical HBSP^2 gather cost to the same gather on a flattened
+// machine with the same leaves but a single level (no upper-level links
+// or barriers). Values above 1 are the price of hierarchy; it shrinks
+// toward the bandwidth bound as n grows.
+func HierarchyPenalty(t *model.Tree, n int) float64 {
+	d := BalancedDist(t, n)
+	hier := GatherHier(t, d).Total()
+	flat := GatherFlat(Flatten(t), t.Pid(t.FastestLeaf()), d).Total()
+	if flat == 0 {
+		return math.Inf(1)
+	}
+	return hier / flat
+}
+
+// BestGatherRoot evaluates every processor as the gather root under the
+// cost model (optionally extended with a per-destination rate table) and
+// returns the pid minimizing the predicted time, with that time. Under
+// the scalar model this recovers the paper's coordinator rule — the
+// fastest machine wins (TestPropertyFastestRootOptimalBalanced) — but
+// with asymmetric per-destination rates the optimum can move, which is
+// exactly why §6 proposes the extension.
+func BestGatherRoot(t *model.Tree, d Dist, rt *model.RateTable) (pid int, time float64) {
+	best, bestT := -1, math.Inf(1)
+	for cand := 0; cand < t.NProcs(); cand++ {
+		var flows []Flow
+		for src, bytes := range d {
+			flows = append(flows, Flow{Src: src, Dst: cand, Bytes: bytes})
+		}
+		h := HRelationRated(t, t.Root, flows, rt)
+		v := t.G*h + t.Root.SyncCost
+		if v < bestT {
+			best, bestT = cand, v
+		}
+	}
+	return best, bestT
+}
+
+// Flatten rebuilds the machine as an HBSP^1 tree over the same leaves:
+// same slowdowns and shares, a single cluster whose sync cost is the
+// maximum level-1 sync cost of the original (an optimistic flat network,
+// used as the baseline when measuring what the hierarchy costs).
+func Flatten(t *model.Tree) *model.Tree {
+	leaves := t.Leaves()
+	children := make([]*model.Machine, len(leaves))
+	maxSync := 0.0
+	t.Root.Walk(func(m *model.Machine) {
+		if !m.IsLeaf() && m.Level == 1 && m.SyncCost > maxSync {
+			maxSync = m.SyncCost
+		}
+	})
+	if maxSync == 0 {
+		maxSync = t.Root.SyncCost
+	}
+	for i, l := range leaves {
+		children[i] = model.NewLeaf(l.Name,
+			model.WithComm(l.CommSlowdown),
+			model.WithComp(l.CompSlowdown),
+			model.WithShare(l.Share))
+	}
+	root := model.NewCluster("flat", children, model.WithSync(maxSync))
+	return model.MustNew(root, t.G).Normalize()
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/cost"
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/stats"
+	"hbspk/internal/trace"
+	"hbspk/internal/workload"
+)
+
+// BroadcastCrossover regenerates the §4.4 analysis comparing the
+// one-phase and two-phase HBSP^1 broadcasts: simulated times for both
+// across the size sweep, the analytic crossover n* = L/(g·(m−2−r_s)),
+// and the winner per size. "For reasonable values of r_{0,s}, the
+// two-phase approach is the better overall performer."
+func BroadcastCrossover(cfg Config) (*Result, error) {
+	tr := model.UCFTestbed()
+	root := tr.Pid(tr.FastestLeaf())
+	nstar := cost.TwoPhaseCrossoverSize(tr)
+	tb := trace.NewTable(
+		fmt.Sprintf("one-phase vs two-phase vs binomial broadcast (analytic 1p/2p crossover n* = %.0f bytes)", nstar),
+		"size(KB)", "T 1-phase", "T 2-phase", "T binomial", "winner", "paper predicts (1p/2p)")
+	res := &Result{
+		ID:         "xphase",
+		Title:      "§4.4: broadcast phase crossover",
+		PaperClaim: "two-phase wins for reasonable r_s once g·n·(m-2-r_s) > L",
+		Table:      tb,
+	}
+	var s1, s2, s3 Series
+	s1.Name, s2.Name, s3.Name = "one-phase", "two-phase", "binomial"
+	// Include sizes well below the crossover in addition to the paper
+	// sweep, so both regimes show.
+	sizes := append([]int{int(nstar / 4), int(nstar / 2)}, cfg.Sizes...)
+	for _, n := range sizes {
+		if n <= 0 {
+			continue
+		}
+		t1, err := measureBcastOnePhase(tr, cfg.Fabric, root, n)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := measureBcastTwoPhase(tr, cfg.Fabric, root, n, false)
+		if err != nil {
+			return nil, err
+		}
+		t3, err := measureBcastBinomial(tr, cfg.Fabric, root, n)
+		if err != nil {
+			return nil, err
+		}
+		winner := "one-phase"
+		switch {
+		case t2 <= t1 && t2 <= t3:
+			winner = "two-phase"
+		case t3 < t1 && t3 < t2:
+			winner = "binomial"
+		}
+		predicted := "one-phase"
+		if float64(n) > nstar {
+			predicted = "two-phase"
+		}
+		tb.AddF(float64(n)/float64(workload.KB), t1, t2, t3, winner, predicted)
+		s1.Points = append(s1.Points, Point{X: float64(n), Y: t1})
+		s2.Points = append(s2.Points, Point{X: float64(n), Y: t2})
+		s3.Points = append(s3.Points, Point{X: float64(n), Y: t3})
+	}
+	res.Series = []Series{s1, s2, s3}
+	return res, nil
+}
+
+// measureBcastBinomial runs the binomial-tree broadcast of n bytes.
+func measureBcastBinomial(tr *model.Tree, cfg fabric.Config, root, n int) (float64, error) {
+	rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {
+		var in []byte
+		if c.Pid() == root {
+			in = make([]byte, n)
+		}
+		_, err := collective.BcastBinomial(c, c.Tree().Root, root, in)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// HierarchyPenalty regenerates the §3.4/§4.3 analysis: the extra cost of
+// running the gather hierarchically on an HBSP^2 machine versus on an
+// idealized flat machine over the same processors. The penalty must
+// shrink as n grows — "if the problem size is large enough, these
+// additional costs can be overcome."
+func HierarchyPenalty(cfg Config) (*Result, error) {
+	tb := trace.NewTable("penalty of hierarchy: gather on HBSP^2 vs flat machine",
+		"machine", "size(KB)", "T hier", "T flat", "penalty")
+	res := &Result{
+		ID:         "penalty",
+		Title:      "§3.4/§4.3: the penalty of hierarchy",
+		PaperClaim: "extra level costs amortize as the problem grows",
+		Table:      tb,
+	}
+	machines := []struct {
+		name string
+		tr   *model.Tree
+	}{
+		{"figure1", model.Figure1Cluster()},
+		{"wan-grid", model.WideAreaGrid(3, 4, 12, 25000, 250000)},
+	}
+	for _, m := range machines {
+		flat := cost.Flatten(m.tr)
+		var series Series
+		series.Name = m.name
+		for _, n := range cfg.Sizes {
+			d := cost.BalancedDist(m.tr, n)
+			hier, err := measureGatherHier(m.tr, cfg.Fabric, d)
+			if err != nil {
+				return nil, err
+			}
+			tFlat, err := measureGather(flat, cfg.Fabric, d, flat.Pid(flat.FastestLeaf()))
+			if err != nil {
+				return nil, err
+			}
+			pen := hier / tFlat
+			tb.AddF(m.name, n/workload.KB, hier, tFlat, pen)
+			series.Points = append(series.Points, Point{X: float64(n), Y: pen})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// measureGatherHier runs the hierarchical gather on the virtual engine.
+func measureGatherHier(tr *model.Tree, cfg fabric.Config, d cost.Dist) (float64, error) {
+	rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {
+		_, err := collective.GatherHier(c, make([]byte, d[c.Pid()]))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// ValidateModel checks the paper's predictability claim: with the pure
+// cost model (no PVM overheads), the virtual engine's totals must equal
+// the analytic formulas for every collective, on flat and hierarchical
+// machines.
+func ValidateModel(cfg Config) (*Result, error) {
+	tb := trace.NewTable("predicted vs simulated (pure model)",
+		"machine", "collective", "predicted", "simulated", "rel err")
+	res := &Result{
+		ID:         "validate",
+		Title:      "Model validation",
+		PaperClaim: "HBSP attempts to provide predictable algorithmic performance (§2)",
+		Table:      tb,
+	}
+	pure := fabric.PureModel()
+	n := 400 * workload.KB
+
+	type check struct {
+		machine, name string
+		predicted     float64
+		simulate      func() (float64, error)
+	}
+	ucf := model.UCFTestbed()
+	fig1 := model.Figure1Cluster()
+	ucfRoot := ucf.Pid(ucf.FastestLeaf())
+	dEq := cost.EqualDist(ucf, n)
+	dBal := cost.BalancedDist(ucf, n)
+	dFig := cost.BalancedDist(fig1, n)
+
+	checks := []check{
+		{"ucf", "gather(equal)", cost.GatherFlat(ucf, ucfRoot, dEq).Total(), func() (float64, error) {
+			return measureGather(ucf, pure, dEq, ucfRoot)
+		}},
+		{"ucf", "gather(balanced)", cost.GatherFlat(ucf, ucfRoot, dBal).Total(), func() (float64, error) {
+			return measureGather(ucf, pure, dBal, ucfRoot)
+		}},
+		{"ucf", "bcast-1phase", cost.BcastOnePhaseFlat(ucf, ucfRoot, n).Total(), func() (float64, error) {
+			return measureBcastOnePhase(ucf, pure, ucfRoot, n)
+		}},
+		{"ucf", "bcast-2phase", cost.BcastTwoPhaseFlat(ucf, ucfRoot, dEq).Total(), func() (float64, error) {
+			return measureBcastTwoPhase(ucf, pure, ucfRoot, n, false)
+		}},
+		{"figure1", "gather-hier", cost.GatherHier(fig1, dFig).Total(), func() (float64, error) {
+			return measureGatherHier(fig1, pure, dFig)
+		}},
+	}
+	worst := 0.0
+	for _, c := range checks {
+		sim, err := c.simulate()
+		if err != nil {
+			return nil, err
+		}
+		re := stats.RelErr(sim, c.predicted)
+		if re > worst {
+			worst = re
+		}
+		tb.AddF(c.machine, c.name, c.predicted, sim, re)
+	}
+	res.Series = []Series{{Name: "worst-rel-err", Points: []Point{{X: 0, Y: worst}}}}
+	return res, nil
+}
+
+// Calibrate demonstrates parameter recovery: probe supersteps of growing
+// h-relations are timed on the virtual engine and a least squares fit of
+// T against h recovers ĝ (slope) and L̂ (intercept) — the experimental
+// parameterization of BSP machines (reference [8]) applied to HBSP^k.
+func Calibrate(cfg Config) (*Result, error) {
+	tr := model.UCFTestbed()
+	pure := fabric.PureModel()
+	var hs, ts []float64
+	for _, n := range cfg.Sizes {
+		d := cost.EqualDist(tr, n)
+		root := tr.Pid(tr.FastestLeaf())
+		total, err := measureGather(tr, pure, d, root)
+		if err != nil {
+			return nil, err
+		}
+		hs = append(hs, cost.HRelation(tr, tr.Root, gatherFlows(tr, d, root)))
+		ts = append(ts, total)
+	}
+	l, g, r2, err := stats.LinearFit(hs, ts)
+	if err != nil {
+		return nil, err
+	}
+	tb := trace.NewTable("recovered machine parameters",
+		"param", "true", "fitted", "rel err")
+	tb.AddF("g", tr.G, g, stats.RelErr(g, tr.G))
+	tb.AddF("L_{1,0}", tr.Root.SyncCost, l, stats.RelErr(l, tr.Root.SyncCost))
+	tb.AddF("R^2", 1.0, r2, math.Abs(1-r2))
+	return &Result{
+		ID:         "calibrate",
+		Title:      "Parameter fitting",
+		PaperClaim: "model parameters are assumed measured; BSP-style probes recover them",
+		Table:      tb,
+		Series:     []Series{{Name: "fit", Points: []Point{{X: l, Y: g}}}},
+	}, nil
+}
+
+// gatherFlows rebuilds the gather's flow set for h computation.
+func gatherFlows(tr *model.Tree, d cost.Dist, root int) []cost.Flow {
+	var flows []cost.Flow
+	for pid, b := range d {
+		flows = append(flows, cost.Flow{Src: pid, Dst: root, Bytes: b})
+	}
+	return flows
+}

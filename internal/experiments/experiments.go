@@ -1,0 +1,265 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the analytical results of §4, on the simulated
+// UCF testbed. Each experiment returns a Result holding the rendered
+// table, the raw series, and the paper's claim for side-by-side
+// comparison in EXPERIMENTS.md.
+//
+// Improvement factors follow §5.1: the improvement of algorithm B over
+// algorithm A is T_A/T_B, so values above 1 mean B wins.
+package experiments
+
+import (
+	"fmt"
+
+	"hbspk/internal/bytemark"
+	"hbspk/internal/collective"
+	"hbspk/internal/cost"
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/trace"
+	"hbspk/internal/workload"
+)
+
+// Config parameterizes a run of the experiment suite.
+type Config struct {
+	// Sizes is the problem-size sweep in bytes (default: the paper's
+	// 100–1000 KB).
+	Sizes []int
+	// Ps is the processor-count sweep (default: 2, 4, 6, 8, 10).
+	Ps []int
+	// Fabric models the testbed; the default is the PVM overhead model
+	// without noise, which keeps runs deterministic.
+	Fabric fabric.Config
+	// Seed drives the BYTEmark measurement (and fabric noise if
+	// enabled).
+	Seed int64
+}
+
+// Default returns the paper's sweep on the deterministic PVM fabric.
+func Default() Config {
+	return Config{
+		Sizes:  workload.PaperSizes(),
+		Ps:     []int{2, 4, 6, 8, 10},
+		Fabric: fabric.PVM(),
+		Seed:   1,
+	}
+}
+
+// Quick returns a reduced sweep for tests: three sizes, three p values.
+func Quick() Config {
+	return Config{
+		Sizes:  []int{100 * workload.KB, 500 * workload.KB, 1000 * workload.KB},
+		Ps:     []int{2, 4, 10},
+		Fabric: fabric.PVM(),
+		Seed:   1,
+	}
+}
+
+// fabricFor derives a per-measurement fabric configuration: when noise
+// is enabled, every (p, n, variant) measurement gets its own seed so
+// that the two sides of an improvement ratio draw independent noise —
+// as two wall-clock runs on a real non-dedicated cluster would.
+func (c Config) fabricFor(p, n, variant int) fabric.Config {
+	f := c.Fabric
+	if f.Noise > 0 {
+		f.Seed = f.Seed*1000003 + int64(p)*101 + int64(n)*13 + int64(variant)
+	}
+	return f
+}
+
+// Point is one measured (x, y) pair of a series.
+type Point struct{ X, Y float64 }
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper's designation ("fig3a", "table1", ...).
+	ID string
+	// Title describes the experiment; PaperClaim quotes the shape the
+	// paper reports, for EXPERIMENTS.md.
+	Title      string
+	PaperClaim string
+	// Table is the rendered data; Series the raw curves.
+	Table  *trace.Table
+	Series []Series
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Config) (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", "Table 1: model notation", Table1},
+		{"fig3a", "Figure 3(a): gather, slow vs fast root", Figure3a},
+		{"fig3b", "Figure 3(b): gather, unbalanced vs balanced", Figure3b},
+		{"fig4a", "Figure 4(a): broadcast, slow vs fast root", Figure4a},
+		{"fig4b", "Figure 4(b): broadcast, unbalanced vs balanced", Figure4b},
+		{"xphase", "§4.4: one-phase vs two-phase broadcast crossover", BroadcastCrossover},
+		{"penalty", "§3.4/§4.3: the penalty of hierarchy", HierarchyPenalty},
+		{"validate", "Model validation: predicted vs simulated", ValidateModel},
+		{"calibrate", "Parameter fitting: recovering g and L", Calibrate},
+		{"sens-rs", "Sensitivity: the slowest machine's r", SensitivityRS},
+		{"sens-l", "Sensitivity: the barrier cost L", SensitivityL},
+		{"suite", "Collective suite summary", SuiteSummary},
+		{"straggler", "Straggler study: rebalancing c_{i,j}", Straggler},
+		{"blindness", "BSP vs HBSP^k prediction error", BSPBlindness},
+		{"kscale", "Depth scaling: HBSP^1 through HBSP^4", KScaling},
+	}
+}
+
+// measureComputeGather runs a compute-then-gather step: each processor
+// first charges work proportional to its piece (a compute-heavy
+// workload), then the pieces are gathered at root.
+func measureComputeGather(tr *model.Tree, cfg fabric.Config, d cost.Dist, root int) (float64, error) {
+	rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {
+		c.Charge(2 * float64(d[c.Pid()]))
+		_, err := collective.Gather(c, c.Tree().Root, root, make([]byte, d[c.Pid()]))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// measureGather runs the flat HBSP^1 gather of the given distribution
+// with the given root on the virtual engine and returns the total
+// virtual time.
+func measureGather(tr *model.Tree, cfg fabric.Config, d cost.Dist, root int) (float64, error) {
+	rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {
+		_, err := collective.Gather(c, c.Tree().Root, root, make([]byte, d[c.Pid()]))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// measureBcastTwoPhase runs the two-phase broadcast of n bytes with the
+// given first-phase piece distribution (nil = equal).
+func measureBcastTwoPhase(tr *model.Tree, cfg fabric.Config, root, n int, balanced bool) (float64, error) {
+	rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {
+		var in []byte
+		var d collective.Dist
+		if c.Pid() == root {
+			in = make([]byte, n)
+			if balanced {
+				d = collective.BalancedPieces(c, c.Tree().Root, n)
+			}
+		}
+		_, err := collective.BcastTwoPhase(c, c.Tree().Root, root, in, d)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// measureBcastOnePhase runs the one-phase broadcast of n bytes.
+func measureBcastOnePhase(tr *model.Tree, cfg fabric.Config, root, n int) (float64, error) {
+	rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {
+		var in []byte
+		if c.Pid() == root {
+			in = make([]byte, n)
+		}
+		_, err := collective.BcastOnePhase(c, c.Tree().Root, root, in)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
+}
+
+// testbedWithMeasuredShares builds the p-processor testbed and fills its
+// c_j shares from a (noisy) BYTEmark measurement, per §5.1.
+func testbedWithMeasuredShares(p int, seed int64) (*model.Tree, error) {
+	tr := model.UCFTestbedN(p)
+	ixs, err := bytemark.DefaultSuite(seed).Measure(tr)
+	if err != nil {
+		return nil, err
+	}
+	bytemark.ApplyShares(tr, ixs)
+	return tr, nil
+}
+
+// improvementFigure runs a (size × p) sweep of T_A/T_B and renders it.
+func improvementFigure(cfg Config, id, title, claim, ratioName string,
+	measure func(tr *model.Tree, p, n int) (tA, tB float64, err error)) (*Result, error) {
+	header := []string{"size(KB)"}
+	for _, p := range cfg.Ps {
+		header = append(header, fmt.Sprintf("p=%d", p))
+	}
+	tb := trace.NewTable(fmt.Sprintf("%s — improvement factor %s", title, ratioName), header...)
+	res := &Result{ID: id, Title: title, PaperClaim: claim, Table: tb}
+	series := make([]Series, len(cfg.Ps))
+	for i, p := range cfg.Ps {
+		series[i].Name = fmt.Sprintf("p=%d", p)
+	}
+	trees := make([]*model.Tree, len(cfg.Ps))
+	for _, n := range cfg.Sizes {
+		row := []interface{}{n / workload.KB}
+		for i, p := range cfg.Ps {
+			if trees[i] == nil {
+				var err error
+				trees[i], err = testbedWithMeasuredShares(p, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+			}
+			tA, tB, err := measure(trees[i], p, n)
+			if err != nil {
+				return nil, err
+			}
+			impr := tA / tB
+			row = append(row, impr)
+			series[i].Points = append(series[i].Points, Point{X: float64(n), Y: impr})
+		}
+		tb.AddF(row...)
+	}
+	res.Series = series
+	return res, nil
+}
+
+// Table1 renders the paper's notation table with the UCF testbed's
+// concrete values.
+func Table1(cfg Config) (*Result, error) {
+	tr := model.UCFTestbed()
+	tb := trace.NewTable("Table 1: definitions of notations", "symbol", "meaning", "testbed value")
+	for _, p := range cost.Table1() {
+		v := ""
+		if p.Value != nil {
+			v = p.Value(tr)
+		}
+		tb.Add(p.Symbol, p.Meaning, v)
+	}
+	return &Result{
+		ID:         "table1",
+		Title:      "Table 1: model notation",
+		PaperClaim: "definitions of the HBSP^k parameters",
+		Table:      tb,
+	}, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files pin the exact figure outputs of the deterministic
+// Quick() configuration: any change to the machine presets, the fabric
+// defaults, or the cost accounting that would silently move the
+// reproduced figures fails here first. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run TestGoldenFigures -update
+var update = false
+
+func init() {
+	for _, a := range os.Args {
+		if a == "-update" || a == "--update" {
+			update = true
+		}
+	}
+}
+
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range []string{"fig3a", "fig3b", "fig4a", "fig4b"} {
+		r, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("runner %q missing", id)
+		}
+		res, err := r.Run(Quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		got := res.Table.CSV()
+		path := filepath.Join("testdata", id+"_quick.csv")
+		if update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", id, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted from golden output.\n--- got ---\n%s--- want ---\n%s", id, got, want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbspk/internal/stats"
+	"hbspk/internal/trace"
+)
+
+// Replicate reruns an experiment under non-dedicated-cluster noise with
+// `reps` different seeds and reports each series' final-size improvement
+// factor as mean ± sample standard deviation — the error bars the
+// paper's wall-clock measurements implicitly carry. The experiment must
+// produce point-aligned series (the improvement figures do).
+func Replicate(r Runner, cfg Config, reps int, noise float64) (*Result, error) {
+	if reps < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 replications, got %d", reps)
+	}
+	// collected[series][point] = values across replications.
+	var names []string
+	var xs [][]float64
+	var collected [][][]float64
+
+	for rep := 0; rep < reps; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)
+		c.Fabric.Noise = noise
+		c.Fabric.Seed = c.Seed
+		res, err := r.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		if rep == 0 {
+			for _, s := range res.Series {
+				names = append(names, s.Name)
+				var sx []float64
+				for _, p := range s.Points {
+					sx = append(sx, p.X)
+				}
+				xs = append(xs, sx)
+				collected = append(collected, make([][]float64, len(s.Points)))
+			}
+		}
+		if len(res.Series) != len(names) {
+			return nil, fmt.Errorf("experiments: replication %d changed the series set", rep)
+		}
+		for si, s := range res.Series {
+			if len(s.Points) != len(collected[si]) {
+				return nil, fmt.Errorf("experiments: replication %d changed series %q length", rep, s.Name)
+			}
+			for pi, p := range s.Points {
+				collected[si][pi] = append(collected[si][pi], p.Y)
+			}
+		}
+	}
+
+	tb := trace.NewTable(
+		fmt.Sprintf("%s — %d replications, noise %.0f%%", r.Name, reps, noise*100),
+		"series", "x", "mean", "stddev", "min", "max")
+	out := &Result{
+		ID:         r.ID + "-reps",
+		Title:      r.Name + " (replicated)",
+		PaperClaim: "the qualitative shapes survive non-dedicated-cluster noise",
+		Table:      tb,
+	}
+	for si, name := range names {
+		var meanSeries Series
+		meanSeries.Name = name
+		for pi, vals := range collected[si] {
+			mean := stats.Mean(vals)
+			sd := stats.StdDev(vals)
+			lo, hi := stats.MinMax(vals)
+			tb.AddF(name, xs[si][pi], mean, sd, lo, hi)
+			meanSeries.Points = append(meanSeries.Points, Point{X: xs[si][pi], Y: mean})
+		}
+		out.Series = append(out.Series, meanSeries)
+	}
+	return out, nil
+}

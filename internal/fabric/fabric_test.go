@@ -1,0 +1,235 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hbspk/internal/cost"
+	"hbspk/internal/model"
+)
+
+func pair(rSlow float64, L float64) *model.Tree {
+	root := model.NewCluster("pair", []*model.Machine{
+		model.NewLeaf("fast", model.WithComm(1), model.WithComp(1)),
+		model.NewLeaf("slow", model.WithComm(rSlow), model.WithComp(rSlow)),
+	}, model.WithSync(L))
+	return model.MustNew(root, 1).Normalize()
+}
+
+func TestPureModelMatchesEquationOne(t *testing.T) {
+	tr := pair(3, 7)
+	f := New(tr, PureModel())
+	res := f.StepCost(tr.Root, "s", []cost.Flow{{Src: 1, Dst: 0, Bytes: 100}},
+		map[int]float64{0: 5, 1: 2})
+	// T = w + g·h + L = 5 + 1·300 + 7.
+	if res.W != 5 || res.H != 300 || res.Comm != 300 || res.Sync != 7 || res.Time != 312 {
+		t.Errorf("got W=%v H=%v Comm=%v Sync=%v T=%v, want 5/300/300/7/312",
+			res.W, res.H, res.Comm, res.Sync, res.Time)
+	}
+	if res.Flows != 1 || res.Bytes != 100 {
+		t.Errorf("flows=%d bytes=%d, want 1/100", res.Flows, res.Bytes)
+	}
+}
+
+func TestSelfSendIsFree(t *testing.T) {
+	tr := pair(3, 0)
+	f := New(tr, PVM())
+	res := f.StepCost(tr.Root, "s", []cost.Flow{{Src: 0, Dst: 0, Bytes: 1000}}, nil)
+	if res.Time != 0 || res.Flows != 0 || res.Bytes != 0 {
+		t.Errorf("self-send charged: %+v", res)
+	}
+}
+
+func TestPackUnpackChargedAsScaledWork(t *testing.T) {
+	tr := pair(4, 0)
+	f := New(tr, Config{PackByte: 0.5, UnpackByte: 0.25})
+	// slow (comp 4) sends 100 bytes to fast (comp 1):
+	// pack on slow = 0.5·100·4 = 200; unpack on fast = 0.25·100·1 = 25.
+	res := f.StepCost(tr.Root, "s", []cost.Flow{{Src: 1, Dst: 0, Bytes: 100}}, nil)
+	if res.W != 200 {
+		t.Errorf("W = %v, want 200 (slow machine's pack dominates)", res.W)
+	}
+	// And the reverse direction: pack on fast = 50, unpack on slow = 100.
+	res = f.StepCost(tr.Root, "s", []cost.Flow{{Src: 0, Dst: 1, Bytes: 100}}, nil)
+	if res.W != 100 {
+		t.Errorf("W = %v, want 100 (slow machine's unpack dominates)", res.W)
+	}
+}
+
+func TestPackExceedsUnpackReproducesP2Anomaly(t *testing.T) {
+	// The §5.2 observation: at p = 2 with equal shares it is better for
+	// the root (receiver) to be the slow machine, because the expensive
+	// pack then runs on the fast machine. T_s < T_f ⇔ T_s/T_f < 1.
+	tr := pair(3.1, 25000)
+	f := New(tr, PVM())
+	n := 500000
+	half := n / 2
+	// Root = fast: slow sends to fast.
+	tf := f.StepCost(tr.Root, "gather", []cost.Flow{{Src: 1, Dst: 0, Bytes: half}}, nil).Time
+	// Root = slow: fast sends to slow.
+	ts := f.StepCost(tr.Root, "gather", []cost.Flow{{Src: 0, Dst: 1, Bytes: half}}, nil).Time
+	if ts >= tf {
+		t.Errorf("T_s = %v should be below T_f = %v at p=2", ts, tf)
+	}
+}
+
+func TestNoiseOnlySlowsAndIsDeterministic(t *testing.T) {
+	tr := pair(2, 10)
+	flows := []cost.Flow{{Src: 1, Dst: 0, Bytes: 1000}}
+	base := New(tr, PureModel()).StepCost(tr.Root, "s", flows, nil).Time
+	a := New(tr, PVMNoisy(0.3, 42))
+	b := New(tr, PVMNoisy(0.3, 42))
+	c := New(tr, PVMNoisy(0.3, 7))
+	var ta, tb, tc float64
+	for i := 0; i < 5; i++ {
+		ta = a.StepCost(tr.Root, "s", flows, nil).Time
+		tb = b.StepCost(tr.Root, "s", flows, nil).Time
+		tc = c.StepCost(tr.Root, "s", flows, nil).Time
+	}
+	if ta != tb {
+		t.Errorf("same seed diverged: %v vs %v", ta, tb)
+	}
+	if ta == tc {
+		t.Errorf("different seeds identical: %v", ta)
+	}
+	if ta < base {
+		t.Errorf("noise sped the step up: %v < noiseless %v", ta, base)
+	}
+}
+
+func TestWorkWithoutFlows(t *testing.T) {
+	tr := pair(2, 3)
+	f := New(tr, PureModel())
+	res := f.StepCost(tr.Root, "compute", nil, map[int]float64{0: 11, 1: 7})
+	if res.Time != 11+3 {
+		t.Errorf("T = %v, want 14", res.Time)
+	}
+}
+
+func TestPacketModeApproximatesHRelation(t *testing.T) {
+	// For a large gather, the packet-level span must converge to the
+	// g·h charge: the h-relation abstraction is exact up to pipelining
+	// effects that vanish with message size.
+	tr := model.UCFTestbed()
+	d := cost.BalancedDist(tr, 400000)
+	root := tr.Pid(tr.FastestLeaf())
+	var flows []cost.Flow
+	for pid, b := range d {
+		flows = append(flows, cost.Flow{Src: pid, Dst: root, Bytes: b})
+	}
+	pure := New(tr, PureModel()).StepCost(tr.Root, "g", flows, nil)
+	pkt := New(tr, Config{PacketMode: true, PacketBytes: 1024}).StepCost(tr.Root, "g", flows, nil)
+	ratio := pkt.Comm / pure.Comm
+	if ratio < 0.8 || ratio > 1.6 {
+		t.Errorf("packet-level comm %v vs g·h %v: ratio %v outside [0.8, 1.6]",
+			pkt.Comm, pure.Comm, ratio)
+	}
+}
+
+func TestPacketModeSerializesReceiver(t *testing.T) {
+	// Two senders to one receiver: the receiver drain serializes, so
+	// the span must be at least the receiver's total drain time.
+	root := model.NewCluster("c", []*model.Machine{
+		model.NewLeaf("r", model.WithComm(1)),
+		model.NewLeaf("s1", model.WithComm(1)),
+		model.NewLeaf("s2", model.WithComm(1)),
+	}, model.WithSync(0))
+	tr := model.MustNew(root, 1).Normalize()
+	f := New(tr, Config{PacketMode: true, PacketBytes: 100})
+	res := f.StepCost(tr.Root, "g", []cost.Flow{
+		{Src: 1, Dst: 0, Bytes: 1000},
+		{Src: 2, Dst: 0, Bytes: 1000},
+	}, nil)
+	if res.Comm < 2000 {
+		t.Errorf("span %v below receiver serialization bound 2000", res.Comm)
+	}
+	if res.Comm > 2000+100 {
+		t.Errorf("span %v far above bound: pipelining broken", res.Comm)
+	}
+}
+
+func TestPacketModeChargesClusterRates(t *testing.T) {
+	// Super²-step between two single-leaf clusters with slow WAN
+	// injection: rates must come from the cluster r, not the leaf r.
+	mk := func(name string, r float64) *model.Machine {
+		return model.NewCluster(name, []*model.Machine{
+			model.NewLeaf(name+"-0", model.WithComm(1)),
+		}, model.WithComm(r), model.WithSync(0))
+	}
+	tr := model.MustNew(model.NewCluster("wan",
+		[]*model.Machine{mk("a", 1), mk("b", 10)}, model.WithSync(0)), 1).Normalize()
+	f := New(tr, Config{PacketMode: true, PacketBytes: 1 << 20})
+	// b -> a: sender charged at cluster b's r = 10. The root
+	// coordinator (a-0) drains at its own r = 1.
+	res := f.StepCost(tr.Root, "s2", []cost.Flow{{Src: 1, Dst: 0, Bytes: 1000}}, nil)
+	// One packet: inject 10·1000 then drain 1·1000 → span 11000.
+	if res.Comm != 11000 {
+		t.Errorf("span = %v, want 11000", res.Comm)
+	}
+}
+
+// Property: pure-model step time always equals w + g·h + L for random
+// flows on a random tree.
+func TestPropertyPureModelEquation(t *testing.T) {
+	f := func(seed int64, nflows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := model.RandomTree(rng, 2, 4)
+		fb := New(tr, PureModel())
+		p := tr.NProcs()
+		var flows []cost.Flow
+		for i := 0; i < int(nflows%12); i++ {
+			flows = append(flows, cost.Flow{
+				Src: rng.Intn(p), Dst: rng.Intn(p), Bytes: rng.Intn(5000),
+			})
+		}
+		work := map[int]float64{rng.Intn(p): rng.Float64() * 100}
+		res := fb.StepCost(tr.Root, "s", flows, work)
+		want := res.W + tr.G*cost.HRelation(tr, tr.Root, flows) + tr.Root.SyncCost
+		return math.Abs(res.Time-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: packet-mode span is never below the busiest charged
+// endpoint's serialized time (a lower bound that mirrors g·h).
+func TestPropertyPacketSpanLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := model.RandomTree(rng, 1, 5)
+		p := tr.NProcs()
+		if p < 2 {
+			return true
+		}
+		var flows []cost.Flow
+		for i := 0; i < 6; i++ {
+			flows = append(flows, cost.Flow{
+				Src: rng.Intn(p), Dst: rng.Intn(p), Bytes: 1 + rng.Intn(4000),
+			})
+		}
+		fb := New(tr, Config{PacketMode: true, PacketBytes: 512})
+		span := fb.StepCost(tr.Root, "s", flows, nil).Comm
+		// Sender-side bound: every sender must at least inject all its
+		// bytes at its own rate.
+		sent := map[int]float64{}
+		for _, fl := range flows {
+			if fl.Src == fl.Dst {
+				continue
+			}
+			rs, _ := cost.EndpointRates(tr, tr.Root, fl)
+			sent[fl.Src] += tr.G * rs * float64(fl.Bytes)
+		}
+		for _, v := range sent {
+			if span < v-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"sort"
+
+	"hbspk/internal/cost"
+	"hbspk/internal/model"
+	"hbspk/internal/sim"
+)
+
+// packetTime simulates the step's communication at packet granularity
+// and returns its span. Each charged entity (leaf, cluster, or step
+// root, per the h-relation entity rules) has a FIFO injector and a FIFO
+// drain; a packet occupies its sender's injector for
+// g·r_src·packetBytes, then — no earlier than its emission completes —
+// the receiver's drain for g·r_dst·packetBytes. Packets of a sender's
+// concurrent flows are interleaved round-robin, modeling fair
+// multiplexing onto one NIC. The result converges to g·h for large
+// messages, which TestPacketModeApproximatesHRelation verifies.
+func (f *Fabric) packetTime(scope *model.Machine, flows []cost.Flow) float64 {
+	eng := sim.NewEngine()
+	type endpoint struct {
+		res  *sim.Resource
+		rate float64 // g·r per byte
+	}
+	injectors := make(map[int]*endpoint) // keyed by charged representative pid
+	drains := make(map[int]*endpoint)
+
+	// Charged entities can aggregate several pids (a cluster during a
+	// super^i-step). Represent each entity by the pid it charges
+	// traffic at: the endpoint rate already encodes the entity's r, so
+	// two leaves of the same cluster share that cluster's injector. To
+	// key the shared resource we use the cluster coordinator's pid.
+	repr := func(pid int) int {
+		leaf := f.tree.Leaf(pid)
+		for m := leaf; m != nil; m = m.Parent() {
+			if m.Parent() == scope {
+				if m.IsLeaf() {
+					return pid
+				}
+				return f.tree.Pid(m.Coordinator())
+			}
+		}
+		return pid
+	}
+
+	get := func(m map[int]*endpoint, key int, rate float64) *endpoint {
+		ep, ok := m[key]
+		if !ok {
+			ep = &endpoint{res: sim.NewResource(eng), rate: rate}
+			m[key] = ep
+		}
+		return ep
+	}
+
+	type chunk struct {
+		src, dst int
+		bytes    int
+		rs, rd   float64
+	}
+	// Split flows into packets, grouped by sender for round-robin
+	// interleaving.
+	bySender := make(map[int][][]chunk)
+	var senders []int
+	for _, fl := range flows {
+		if fl.Src == fl.Dst || fl.Bytes <= 0 {
+			continue
+		}
+		rs, rd := cost.EndpointRates(f.tree, scope, fl)
+		if rs == 0 && rd == 0 {
+			continue
+		}
+		if f.cfg.Rates != nil {
+			srcM, dstM := cost.EndpointMachines(f.tree, scope, fl)
+			rs *= f.cfg.Rates.Factor(srcM, dstM)
+		}
+		var cs []chunk
+		for rest := fl.Bytes; rest > 0; rest -= f.cfg.PacketBytes {
+			b := f.cfg.PacketBytes
+			if rest < b {
+				b = rest
+			}
+			cs = append(cs, chunk{fl.Src, fl.Dst, b, rs, rd})
+		}
+		if _, ok := bySender[fl.Src]; !ok {
+			senders = append(senders, fl.Src)
+		}
+		bySender[fl.Src] = append(bySender[fl.Src], cs)
+	}
+	sort.Ints(senders)
+
+	span := 0.0
+	done := func(_, end float64) {
+		if end > span {
+			span = end
+		}
+	}
+	for _, s := range senders {
+		queues := bySender[s]
+		for round := 0; ; round++ {
+			any := false
+			for _, q := range queues {
+				if round >= len(q) {
+					continue
+				}
+				any = true
+				c := q[round]
+				inj := get(injectors, repr(c.src), f.tree.G*c.rs)
+				sendEnd := inj.res.Acquire(inj.rate*float64(c.bytes), nil)
+				dr := get(drains, repr(c.dst), f.tree.G*c.rd)
+				eng.ScheduleAt(sendEnd, func() {
+					dr.res.AcquireAfter(sendEnd, dr.rate*float64(c.bytes), done)
+				})
+			}
+			if !any {
+				break
+			}
+		}
+	}
+	eng.Run()
+	return span
+}

@@ -1,0 +1,226 @@
+package hbsp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hbspk/internal/model"
+	"hbspk/internal/pvm"
+	"hbspk/internal/trace"
+)
+
+// Concurrent executes programs with real parallelism on the pvm
+// substrate: every processor is a spawned task, bulk messages travel
+// through task mailboxes, and scoped barriers are pvm group barriers.
+// Heterogeneity can be emulated by time dilation: Charge busy-spins for
+// ops·CompSlowdown·TimeUnit of wall time.
+//
+// The engine reports wall-clock step times, so its numbers are
+// machine-dependent and noisy; it exists to validate that programs are
+// correct concurrent code and deliver exactly the same data as the
+// virtual engine. Programs must be well-formed SPMD (every processor of
+// a scope syncs on it the same number of times); unlike the virtual
+// engine, a malformed program blocks rather than returning ErrDesync.
+type Concurrent struct {
+	tree *model.Tree
+	// TimeUnit is the wall-clock duration of one fastest-machine work
+	// unit for Charge; zero disables dilation.
+	TimeUnit time.Duration
+}
+
+// NewConcurrent returns a wall-clock engine for the tree.
+func NewConcurrent(t *model.Tree) *Concurrent { return &Concurrent{tree: t} }
+
+// cctx is the per-processor Ctx of the concurrent engine.
+type cctx struct {
+	pid  int
+	leaf *model.Machine
+	eng  *Concurrent
+	task *pvm.Task
+	tids []pvm.TID
+
+	outbox []pendingMsg
+	inbox  []Message
+	seq    int
+	// syncSeq counts this processor's syncs per scope so that senders
+	// and receivers agree on a message tag per (scope, generation).
+	syncSeq map[*model.Machine]int
+
+	shared *crun
+}
+
+// crun is the state shared by all processors of one Run.
+type crun struct {
+	mu      sync.Mutex
+	steps   []trace.Step
+	scopeID map[*model.Machine]int
+	started time.Time
+}
+
+func (c *cctx) Pid() int             { return c.pid }
+func (c *cctx) NProcs() int          { return c.eng.tree.NProcs() }
+func (c *cctx) Tree() *model.Tree    { return c.eng.tree }
+func (c *cctx) Self() *model.Machine { return c.leaf }
+func (c *cctx) Moves() []Message     { return c.inbox }
+
+func (c *cctx) Charge(ops float64) {
+	if ops <= 0 || c.eng.TimeUnit <= 0 {
+		return
+	}
+	d := time.Duration(ops * c.leaf.CompSlowdown * float64(c.eng.TimeUnit))
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		// Busy spin: emulated computation must consume CPU, not yield
+		// it, to behave like the real slow machine.
+	}
+}
+
+func (c *cctx) Send(dst, tag int, payload []byte) error {
+	if dst < 0 || dst >= c.NProcs() {
+		return fmt.Errorf("hbsp: send to pid %d of %d", dst, c.NProcs())
+	}
+	c.seq++
+	c.outbox = append(c.outbox, pendingMsg{src: c.pid, dst: dst, tag: tag, payload: payload, seq: c.seq})
+	return nil
+}
+
+// wireTag encodes (scope, generation, user tag) into a pvm tag so that
+// messages of different supersteps never mix. User tags must fit 16
+// bits; generations wrap within 20 bits, far beyond any real run.
+func (c *cctx) wireTag(scope *model.Machine, gen, userTag int) int {
+	c.shared.mu.Lock()
+	id, ok := c.shared.scopeID[scope]
+	if !ok {
+		id = len(c.shared.scopeID) + 1
+		c.shared.scopeID[scope] = id
+	}
+	c.shared.mu.Unlock()
+	return id<<28 | (gen&0xFFFFF)<<8 | (userTag & 0xFF)
+}
+
+func (c *cctx) Sync(scope *model.Machine, label string) error {
+	if scope == nil {
+		return errors.New("hbsp: Sync with nil scope")
+	}
+	gen := c.syncSeq[scope]
+	c.syncSeq[scope] = gen + 1
+
+	leaves := scope.Leaves()
+	inScope := make(map[int]bool, len(leaves))
+	for _, l := range leaves {
+		inScope[c.eng.tree.Pid(l)] = true
+	}
+	if !inScope[c.pid] {
+		return fmt.Errorf("hbsp: processor %d syncing on foreign scope %s", c.pid, scope.Label())
+	}
+
+	start := time.Since(c.shared.started)
+
+	// Transmit every queued message whose endpoints are both inside the
+	// scope; the rest stay queued for a wider sync.
+	var kept []pendingMsg
+	sentBytes := 0
+	for _, m := range c.outbox {
+		if !inScope[m.dst] {
+			kept = append(kept, m)
+			continue
+		}
+		buf := pvm.NewBuffer()
+		buf.PackInt32(int32(m.src), int32(m.tag))
+		buf.PackBytes(m.payload)
+		if err := c.task.Send(c.tids[m.dst], c.wireTag(scope, gen, 0), buf); err != nil {
+			return err
+		}
+		sentBytes += len(m.payload)
+	}
+	c.outbox = kept
+
+	barrier := fmt.Sprintf("sync:%s#%d", scope.Label(), gen)
+	if err := c.task.Barrier(barrier, len(leaves)); err != nil {
+		return err
+	}
+
+	// All sends of this (scope, gen) happened before any barrier exit,
+	// so the mailbox now holds the complete delivery.
+	c.inbox = c.inbox[:0]
+	recvBytes := 0
+	var seqs []int
+	for {
+		m, ok := c.task.TryRecv(pvm.AnySource, c.wireTag(scope, gen, 0))
+		if !ok {
+			break
+		}
+		b := m.Buffer()
+		src, err := b.UnpackInt32()
+		if err != nil {
+			return err
+		}
+		tag, err := b.UnpackInt32()
+		if err != nil {
+			return err
+		}
+		payload, err := b.UnpackBytes()
+		if err != nil {
+			return err
+		}
+		c.inbox = append(c.inbox, Message{Src: int(src), Tag: int(tag), Payload: payload})
+		seqs = append(seqs, len(seqs))
+		recvBytes += len(payload)
+	}
+	sortMessages(c.inbox, seqs)
+
+	// The scope coordinator records the step.
+	if scope.Coordinator() == c.leaf {
+		end := time.Since(c.shared.started)
+		c.shared.mu.Lock()
+		c.shared.steps = append(c.shared.steps, trace.Step{
+			Index:        len(c.shared.steps),
+			Label:        label,
+			ScopeLabel:   scope.Label(),
+			ScopeName:    scope.Name,
+			Level:        scope.Level,
+			Participants: len(leaves),
+			Time:         float64(end-start) / float64(time.Microsecond),
+			Bytes:        sentBytes + recvBytes,
+			Start:        float64(start) / float64(time.Microsecond),
+			End:          float64(end) / float64(time.Microsecond),
+		})
+		c.shared.mu.Unlock()
+	}
+	return nil
+}
+
+// Run executes the program on every processor with real concurrency and
+// returns a wall-clock report (times in microseconds).
+func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
+	p := e.tree.NProcs()
+	sys := pvm.NewSystem()
+	shared := &crun{scopeID: make(map[*model.Machine]int), started: time.Now()}
+
+	tids := make([]pvm.TID, p)
+	ready := make(chan struct{})
+	for pid := 0; pid < p; pid++ {
+		pid := pid
+		tids[pid] = sys.Spawn(fmt.Sprintf("proc%d", pid), func(t *pvm.Task) error {
+			<-ready
+			c := &cctx{
+				pid:     pid,
+				leaf:    e.tree.Leaf(pid),
+				eng:     e,
+				task:    t,
+				tids:    tids,
+				syncSeq: make(map[*model.Machine]int),
+				shared:  shared,
+			}
+			return prog(c)
+		})
+	}
+	close(ready)
+	err := sys.Wait()
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	total := float64(time.Since(shared.started)) / float64(time.Microsecond)
+	return &trace.Report{Steps: shared.steps, Total: total}, err
+}

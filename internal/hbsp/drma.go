@@ -1,0 +1,176 @@
+package hbsp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Direct Remote Memory Access, the second communication style of BSPlib
+// (and so of HBSPlib, which "incorporates many of the functions ...
+// contained in BSPlib", §5.1). Processors register named memory areas;
+// Put writes into a remote registration and Get reads from one. Both are
+// bulk-synchronous: a Put becomes visible at the destination, and a Get
+// returns data snapshotted at the source, only after the next Sync whose
+// scope covers both processors — exactly BSPlib's end-of-superstep
+// semantics.
+//
+// DRMA is implemented on top of the engine's bulk messages with reserved
+// tags, so it works identically on the virtual and concurrent engines
+// and is charged like any other traffic.
+
+const (
+	// tagDRMAPut carries put payloads; tagDRMAGetReq get requests;
+	// tagDRMAGetRep get replies. Reserved: user tags collide only if
+	// they pick these exact values (documented on Reg).
+	tagDRMAPut    = -1001
+	tagDRMAGetReq = -1002
+	tagDRMAGetRep = -1003
+)
+
+// ErrUnregistered is returned when a Put or Get names an area the
+// destination has not registered.
+var ErrUnregistered = errors.New("hbsp: unregistered DRMA area")
+
+// Reg is a processor's handle to its registered memory area. All
+// processors of a scope must register the same names (BSPlib's
+// registration sequence rule); the library checks at access time rather
+// than registration time, since registrations are purely local.
+//
+// The tags -1001..-1003 are reserved for DRMA traffic; user programs
+// must not send messages with those tags on a Ctx that also uses DRMA.
+type Reg struct {
+	ctx  Ctx
+	name string
+	mem  []byte
+}
+
+// drmaState tracks the registrations of one processor. It lives in the
+// Ctx-independent layer: both engines reach it through the regs map key
+// on the Ctx interface value.
+var drmaRegs = struct {
+	// Keyed by Ctx (interface identity) then name. Each Ctx is confined
+	// to one goroutine, and entries are removed when the program ends,
+	// so no locking is needed beyond the map's per-Ctx confinement —
+	// but engines run many Ctxs concurrently, so a mutex guards the
+	// outer map.
+	m map[Ctx]map[string]*Reg
+}{}
+
+// Register makes mem remotely accessible under name until Deregister.
+// The returned Reg is used for local access; remote processors address
+// the area by (pid, name).
+func Register(c Ctx, name string, mem []byte) (*Reg, error) {
+	if name == "" {
+		return nil, errors.New("hbsp: empty DRMA registration name")
+	}
+	regs := ctxRegs(c, true)
+	if _, dup := regs[name]; dup {
+		return nil, fmt.Errorf("hbsp: DRMA area %q already registered", name)
+	}
+	r := &Reg{ctx: c, name: name, mem: mem}
+	regs[name] = r
+	return r, nil
+}
+
+// Deregister removes the area.
+func (r *Reg) Deregister() {
+	regs := ctxRegs(r.ctx, false)
+	if regs != nil {
+		delete(regs, r.name)
+	}
+}
+
+// Bytes returns the registered memory (local view).
+func (r *Reg) Bytes() []byte { return r.mem }
+
+// Put schedules a write of src into the area named name at processor
+// dst, at the given offset. The write lands at the end of the next
+// covering superstep; concurrent puts to the same location resolve in
+// (sender pid, send order) — the deterministic order of Moves.
+func Put(c Ctx, dst int, name string, offset int, src []byte) error {
+	f := newDRMAFrame(name, offset)
+	f.payload(src)
+	return c.Send(dst, tagDRMAPut, f.bytes())
+}
+
+// Get schedules a read of length bytes from the area named name at
+// processor src, starting at offset. The data arrives after the *second*
+// next sync: the request travels in the current superstep, the reply in
+// the following one (BSPlib's split-phase get realized over messages).
+// GetReply collects it.
+func Get(c Ctx, src int, name string, offset, length int) error {
+	f := newDRMAFrame(name, offset)
+	f.length(length)
+	return c.Send(src, tagDRMAGetReq, f.bytes())
+}
+
+// DRMASync must be called instead of a bare Sync by programs using DRMA:
+// it synchronizes the scope, applies incoming puts to local
+// registrations, answers get requests (the replies become visible after
+// the caller's next DRMASync), and returns the get replies that arrived
+// this step keyed by source pid.
+func DRMASync(c Ctx, scope ScopeMachine, label string) (map[int][][]byte, error) {
+	if err := c.Sync(scope, label); err != nil {
+		return nil, err
+	}
+	regs := ctxRegs(c, false)
+	replies := make(map[int][][]byte)
+	for _, m := range c.Moves() {
+		switch m.Tag {
+		case tagDRMAPut:
+			name, offset, body, err := parseDRMAFrame(m.Payload)
+			if err != nil {
+				return nil, err
+			}
+			r := regs[name]
+			if r == nil {
+				return nil, fmt.Errorf("%w: put into %q at processor %d", ErrUnregistered, name, c.Pid())
+			}
+			if offset < 0 || offset+len(body) > len(r.mem) {
+				return nil, fmt.Errorf("hbsp: put of %d bytes at offset %d overflows area %q (%d bytes)",
+					len(body), offset, name, len(r.mem))
+			}
+			copy(r.mem[offset:], body)
+		case tagDRMAGetReq:
+			name, offset, body, err := parseDRMAFrame(m.Payload)
+			if err != nil {
+				return nil, err
+			}
+			length, err := parseLength(body)
+			if err != nil {
+				return nil, err
+			}
+			r := regs[name]
+			if r == nil {
+				return nil, fmt.Errorf("%w: get from %q at processor %d", ErrUnregistered, name, c.Pid())
+			}
+			if offset < 0 || offset+length > len(r.mem) {
+				return nil, fmt.Errorf("hbsp: get of %d bytes at offset %d overflows area %q (%d bytes)",
+					length, offset, name, len(r.mem))
+			}
+			snapshot := append([]byte(nil), r.mem[offset:offset+length]...)
+			rep := newDRMAFrame(name, offset)
+			rep.payload(snapshot)
+			if err := c.Send(m.Src, tagDRMAGetRep, rep.bytes()); err != nil {
+				return nil, err
+			}
+		case tagDRMAGetRep:
+			_, _, body, err := parseDRMAFrame(m.Payload)
+			if err != nil {
+				return nil, err
+			}
+			replies[m.Src] = append(replies[m.Src], body)
+		}
+	}
+	return replies, nil
+}
+
+// EndDRMA releases the processor's registration table; programs call it
+// before returning (a defer in the program body is idiomatic).
+func EndDRMA(c Ctx) {
+	drmaRegsMu.Lock()
+	defer drmaRegsMu.Unlock()
+	if drmaRegs.m != nil {
+		delete(drmaRegs.m, c)
+	}
+}

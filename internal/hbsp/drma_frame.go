@@ -1,0 +1,87 @@
+package hbsp
+
+import (
+	"sync"
+
+	"hbspk/internal/model"
+	"hbspk/internal/pvm"
+)
+
+// ScopeMachine aliases the machine type for the DRMA signatures.
+type ScopeMachine = *model.Machine
+
+var drmaRegsMu sync.Mutex
+
+// ctxRegs returns (creating on demand when create is set) the
+// registration table of one processor.
+func ctxRegs(c Ctx, create bool) map[string]*Reg {
+	drmaRegsMu.Lock()
+	defer drmaRegsMu.Unlock()
+	if drmaRegs.m == nil {
+		if !create {
+			return nil
+		}
+		drmaRegs.m = make(map[Ctx]map[string]*Reg)
+	}
+	regs := drmaRegs.m[c]
+	if regs == nil && create {
+		regs = make(map[string]*Reg)
+		drmaRegs.m[c] = regs
+	}
+	return regs
+}
+
+// drmaFrame is the wire format of DRMA traffic: name, offset, then
+// either a payload (put, get reply) or a length (get request), encoded
+// with the pvm typed buffer.
+type drmaFrame struct{ buf *pvm.Buffer }
+
+func newDRMAFrame(name string, offset int) *drmaFrame {
+	f := &drmaFrame{buf: pvm.NewBuffer()}
+	f.buf.PackString(name)
+	f.buf.PackInt64(int64(offset))
+	return f
+}
+
+func (f *drmaFrame) payload(p []byte) { f.buf.PackBytes(p) }
+func (f *drmaFrame) length(n int)     { f.buf.PackInt64(int64(n)) }
+func (f *drmaFrame) bytes() []byte    { return f.buf.Bytes() }
+
+// parseDRMAFrame splits a frame into name, offset and the remaining body
+// bytes (a payload for puts/replies, an encoded length for requests).
+func parseDRMAFrame(wire []byte) (name string, offset int, body []byte, err error) {
+	b := pvm.Wrap(wire)
+	name, err = b.UnpackString()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	off, err := b.UnpackInt64()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	// The body is either a packed byte slice or a packed int64 length;
+	// hand the remaining wire bytes back for the caller to interpret.
+	rest := wire[len(wire)-b.Remaining():]
+	if looksLikeBytes(rest) {
+		body, err = b.UnpackBytes()
+		if err != nil {
+			return "", 0, nil, err
+		}
+		return name, int(off), body, nil
+	}
+	return name, int(off), rest, nil
+}
+
+// looksLikeBytes peeks at the next type code.
+func looksLikeBytes(rest []byte) bool {
+	return len(rest) > 0 && rest[0] == pvm.CodeBytes
+}
+
+// parseLength decodes a get request's length body.
+func parseLength(body []byte) (int, error) {
+	v, err := pvm.Wrap(body).UnpackInt64()
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}

@@ -1,0 +1,304 @@
+package hbsp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hbspk/internal/fabric"
+	"hbspk/internal/model"
+)
+
+func TestDRMAPutVisibleAfterSync(t *testing.T) {
+	tr := model.UCFTestbedN(4)
+	final := make([][]byte, tr.NProcs())
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		area, err := Register(c, "buf", make([]byte, 16))
+		if err != nil {
+			return err
+		}
+		// Everyone puts its pid at offset 4*pid of processor 0's area.
+		if err := Put(c, 0, "buf", 4*c.Pid(), []byte{byte(c.Pid() + 1), 0, 0, 0}); err != nil {
+			return err
+		}
+		// Not visible before the sync.
+		if area.Bytes()[4*c.Pid()] != 0 {
+			return fmt.Errorf("p%d: put visible before sync", c.Pid())
+		}
+		if _, err := DRMASync(c, c.Tree().Root, "puts"); err != nil {
+			return err
+		}
+		final[c.Pid()] = append([]byte(nil), area.Bytes()...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4, 0, 0, 0}
+	if !bytes.Equal(final[0], want) {
+		t.Errorf("p0 area = %v, want %v", final[0], want)
+	}
+	// Non-targets stay zero.
+	if !bytes.Equal(final[2], make([]byte, 16)) {
+		t.Errorf("p2 area modified: %v", final[2])
+	}
+}
+
+func TestDRMAGetSplitPhase(t *testing.T) {
+	tr := model.UCFTestbedN(3)
+	var got []byte
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		mem := []byte(fmt.Sprintf("data-from-%d!", c.Pid()))
+		if _, err := Register(c, "src", mem); err != nil {
+			return err
+		}
+		if c.Pid() == 2 {
+			if err := Get(c, 0, "src", 5, 6); err != nil {
+				return err
+			}
+		}
+		// Superstep 1: the request travels.
+		rep, err := DRMASync(c, c.Tree().Root, "request")
+		if err != nil {
+			return err
+		}
+		if len(rep) != 0 {
+			return fmt.Errorf("p%d: reply arrived a step early", c.Pid())
+		}
+		// Superstep 2: the reply arrives.
+		rep, err = DRMASync(c, c.Tree().Root, "reply")
+		if err != nil {
+			return err
+		}
+		if c.Pid() == 2 {
+			if len(rep[0]) != 1 {
+				return fmt.Errorf("p2: %d replies from p0", len(rep[0]))
+			}
+			got = rep[0][0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-0" {
+		t.Errorf("get returned %q, want \"from-0\"", got)
+	}
+}
+
+func TestDRMAGetSnapshotsSourceAtReplyStep(t *testing.T) {
+	// The get reply carries the value as of the superstep in which the
+	// source answers, per the split-phase realization.
+	tr := model.UCFTestbedN(2)
+	var got []byte
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		mem := []byte{1}
+		if _, err := Register(c, "v", mem); err != nil {
+			return err
+		}
+		if c.Pid() == 1 {
+			if err := Get(c, 0, "v", 0, 1); err != nil {
+				return err
+			}
+		}
+		if _, err := DRMASync(c, c.Tree().Root, "req"); err != nil {
+			return err
+		}
+		if c.Pid() == 0 {
+			mem[0] = 9 // mutate after answering: must not affect the reply
+		}
+		rep, err := DRMASync(c, c.Tree().Root, "rep")
+		if err != nil {
+			return err
+		}
+		if c.Pid() == 1 {
+			got = rep[0][0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("reply = %v, want the pre-mutation snapshot [1]", got)
+	}
+}
+
+func TestDRMAUnregisteredAreaFails(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		if c.Pid() == 1 {
+			if err := Put(c, 0, "nope", 0, []byte{1}); err != nil {
+				return err
+			}
+		}
+		_, err := DRMASync(c, c.Tree().Root, "s")
+		return err
+	})
+	if !errors.Is(err, ErrUnregistered) {
+		t.Errorf("err = %v, want ErrUnregistered", err)
+	}
+}
+
+func TestDRMAPutBoundsChecked(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		if _, err := Register(c, "small", make([]byte, 4)); err != nil {
+			return err
+		}
+		if c.Pid() == 1 {
+			if err := Put(c, 0, "small", 2, []byte{1, 2, 3, 4}); err != nil {
+				return err
+			}
+		}
+		_, err := DRMASync(c, c.Tree().Root, "s")
+		return err
+	})
+	if err == nil {
+		t.Fatal("overflowing put accepted")
+	}
+}
+
+func TestDRMADuplicateRegistrationRejected(t *testing.T) {
+	tr := model.UCFTestbedN(1)
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		if _, err := Register(c, "x", make([]byte, 1)); err != nil {
+			return err
+		}
+		if _, err := Register(c, "x", make([]byte, 1)); err == nil {
+			return errors.New("duplicate registration accepted")
+		}
+		if _, err := Register(c, "", nil); err == nil {
+			return errors.New("empty name accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRMADeregisterThenAccessFails(t *testing.T) {
+	tr := model.UCFTestbedN(2)
+	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		area, err := Register(c, "gone", make([]byte, 8))
+		if err != nil {
+			return err
+		}
+		area.Deregister()
+		if c.Pid() == 1 {
+			if err := Put(c, 0, "gone", 0, []byte{1}); err != nil {
+				return err
+			}
+		}
+		_, err = DRMASync(c, c.Tree().Root, "s")
+		return err
+	})
+	if !errors.Is(err, ErrUnregistered) {
+		t.Errorf("err = %v, want ErrUnregistered", err)
+	}
+}
+
+func TestDRMAConcurrentPutsResolveDeterministically(t *testing.T) {
+	// Two writers target the same location; the higher pid's put is
+	// applied last (Moves order), on both runs.
+	tr := model.UCFTestbedN(3)
+	run := func() byte {
+		var v byte
+		_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+			defer EndDRMA(c)
+			area, err := Register(c, "cell", make([]byte, 1))
+			if err != nil {
+				return err
+			}
+			if c.Pid() != 0 {
+				if err := Put(c, 0, "cell", 0, []byte{byte(c.Pid())}); err != nil {
+					return err
+				}
+			}
+			if _, err := DRMASync(c, c.Tree().Root, "race"); err != nil {
+				return err
+			}
+			if c.Pid() == 0 {
+				v = area.Bytes()[0]
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic put resolution: %d vs %d", a, b)
+	}
+	if a != 2 {
+		t.Errorf("winner = %d, want 2 (highest pid, applied last)", a)
+	}
+}
+
+func TestDRMAOnConcurrentEngine(t *testing.T) {
+	tr := model.UCFTestbedN(4)
+	final := make([][]byte, tr.NProcs())
+	_, err := NewConcurrent(tr).Run(func(c Ctx) error {
+		defer EndDRMA(c)
+		area, err := Register(c, "buf", make([]byte, 4))
+		if err != nil {
+			return err
+		}
+		if err := Put(c, (c.Pid()+1)%4, "buf", c.Pid(), []byte{byte(c.Pid() + 10)}); err != nil {
+			return err
+		}
+		if _, err := DRMASync(c, c.Tree().Root, "ring-puts"); err != nil {
+			return err
+		}
+		final[c.Pid()] = append([]byte(nil), area.Bytes()...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 4; pid++ {
+		writer := (pid + 3) % 4
+		if final[pid][writer] != byte(writer+10) {
+			t.Errorf("pid %d area = %v, want %d at index %d", pid, final[pid], writer+10, writer)
+		}
+	}
+}
+
+func TestDRMAChargedLikeBulkMessages(t *testing.T) {
+	// A put of n bytes must enter the h-relation like a send of the
+	// same size (plus the small frame header).
+	tr := model.UCFTestbedN(2)
+	n := 10000
+	rep, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
+		defer EndDRMA(c)
+		if _, err := Register(c, "a", make([]byte, n)); err != nil {
+			return err
+		}
+		if c.Pid() == 1 {
+			if err := Put(c, 0, "a", 0, make([]byte, n)); err != nil {
+				return err
+			}
+		}
+		_, err := DRMASync(c, c.Tree().Root, "put")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowR := tr.SlowestLeaf().CommSlowdown
+	wantMin := slowR * float64(n)
+	if rep.Steps[0].H < wantMin {
+		t.Errorf("put h = %v, want ≥ %v", rep.Steps[0].H, wantMin)
+	}
+}

@@ -1,0 +1,124 @@
+package hbsp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hbspk/internal/fabric"
+	"hbspk/internal/model"
+)
+
+// The two engines implement the same programming model; these property
+// tests drive both with randomized message schedules and require
+// identical delivered data.
+
+// randomSchedule builds a deterministic per-processor message plan:
+// rounds × destinations × sizes derived from the seed, shared by both
+// engines.
+type schedItem struct {
+	dst, tag, size int
+}
+
+func buildSchedule(seed int64, p, rounds int) [][][]schedItem {
+	rng := rand.New(rand.NewSource(seed))
+	plan := make([][][]schedItem, p)
+	for pid := 0; pid < p; pid++ {
+		plan[pid] = make([][]schedItem, rounds)
+		for r := 0; r < rounds; r++ {
+			count := rng.Intn(4)
+			for m := 0; m < count; m++ {
+				plan[pid][r] = append(plan[pid][r], schedItem{
+					dst:  rng.Intn(p),
+					tag:  rng.Intn(8),
+					size: 1 + rng.Intn(64),
+				})
+			}
+		}
+	}
+	return plan
+}
+
+// runSchedule executes the plan and returns a digest per processor: the
+// concatenation of (src, tag, payload-head) of every delivered message
+// in Moves order across rounds.
+func runSchedule(t *testing.T, tr *model.Tree, plan [][][]schedItem,
+	run func(Program) error) [][]byte {
+	t.Helper()
+	p := tr.NProcs()
+	digests := make([][]byte, p)
+	err := run(func(c Ctx) error {
+		var digest []byte
+		for r := range plan[c.Pid()] {
+			for mi, item := range plan[c.Pid()][r] {
+				payload := bytes.Repeat([]byte{byte(c.Pid()*17 + r*3 + mi)}, item.size)
+				if err := c.Send(item.dst, item.tag, payload); err != nil {
+					return err
+				}
+			}
+			if err := SyncAll(c, fmt.Sprintf("round%d", r)); err != nil {
+				return err
+			}
+			for _, m := range c.Moves() {
+				digest = append(digest, byte(m.Src), byte(m.Tag), byte(len(m.Payload)), m.Payload[0])
+			}
+		}
+		digests[c.Pid()] = digest
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return digests
+}
+
+func TestPropertyEnginesDeliverIdentically(t *testing.T) {
+	f := func(seed int64, pRaw, roundsRaw uint8) bool {
+		p := int(pRaw%6) + 2
+		rounds := int(roundsRaw%4) + 1
+		tr := model.UCFTestbedN(p)
+		plan := buildSchedule(seed, p, rounds)
+		virt := runSchedule(t, tr, plan, func(prog Program) error {
+			_, err := RunVirtual(tr, fabric.PureModel(), prog)
+			return err
+		})
+		conc := runSchedule(t, tr, plan, func(prog Program) error {
+			_, err := NewConcurrent(tr).Run(prog)
+			return err
+		})
+		for pid := range virt {
+			if !bytes.Equal(virt[pid], conc[pid]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVirtualDeterministicOverSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := model.UCFTestbedN(5)
+		plan := buildSchedule(seed, 5, 3)
+		run := func() [][]byte {
+			return runSchedule(t, tr, plan, func(prog Program) error {
+				_, err := RunVirtual(tr, fabric.PVM(), prog)
+				return err
+			})
+		}
+		a, b := run(), run()
+		for pid := range a {
+			if !bytes.Equal(a[pid], b[pid]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

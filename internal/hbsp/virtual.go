@@ -1,0 +1,377 @@
+package hbsp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hbspk/internal/cost"
+	"hbspk/internal/fabric"
+	"hbspk/internal/model"
+	"hbspk/internal/trace"
+)
+
+// Virtual executes programs under the HBSP^k cost model on a
+// deterministic virtual clock. Processors run as goroutines for
+// programming-model fidelity, but every cost — computation,
+// communication, synchronization — is charged by the fabric, so two runs
+// with the same machine, program and fabric seed produce identical
+// reports.
+type Virtual struct {
+	tree *model.Tree
+	fab  *fabric.Fabric
+
+	// MaxSteps, when positive, aborts the run with ErrStepLimit once
+	// that many supersteps have completed — a guard against unbounded
+	// iteration in user programs (the engine otherwise runs as long as
+	// the program does).
+	MaxSteps int
+
+	// inboxes stages delivered messages per pid between the engine's
+	// completeStep and the owning processor's pickup after resume; the
+	// resume channel orders the handoff.
+	inboxes [][]Message
+}
+
+// ErrStepLimit reports that a run exceeded the engine's MaxSteps.
+var ErrStepLimit = errors.New("hbsp: superstep limit exceeded")
+
+// NewVirtual returns an engine for the tree charging costs via fab,
+// which must have been built for the same tree.
+func NewVirtual(t *model.Tree, fab *fabric.Fabric) *Virtual {
+	return &Virtual{tree: t, fab: fab}
+}
+
+// RunVirtual is a convenience wrapper: build a fabric with cfg and run.
+func RunVirtual(t *model.Tree, cfg fabric.Config, prog Program) (*trace.Report, error) {
+	return NewVirtual(t, fabric.New(t, cfg)).Run(prog)
+}
+
+// ErrDesync reports a malformed SPMD program: processors blocked on
+// barriers that can never complete, or a processor exiting while others
+// still wait on a scope containing it.
+var ErrDesync = errors.New("hbsp: processors desynchronized")
+
+type pendingMsg struct {
+	src, dst, tag int
+	payload       []byte
+	seq           int
+}
+
+type vrequest struct {
+	pid    int
+	kind   byte // 's' sync, 'd' done
+	scope  *model.Machine
+	label  string
+	work   float64
+	outbox []pendingMsg
+	err    error
+	resume chan error
+}
+
+// vctx is the per-processor Ctx of the virtual engine.
+type vctx struct {
+	pid    int
+	leaf   *model.Machine
+	eng    *Virtual
+	reqs   chan<- *vrequest
+	resume chan error
+
+	work   float64
+	outbox []pendingMsg
+	inbox  []Message
+	seq    int
+}
+
+func (c *vctx) Pid() int             { return c.pid }
+func (c *vctx) NProcs() int          { return c.eng.tree.NProcs() }
+func (c *vctx) Tree() *model.Tree    { return c.eng.tree }
+func (c *vctx) Self() *model.Machine { return c.leaf }
+func (c *vctx) Moves() []Message     { return c.inbox }
+func (c *vctx) Charge(ops float64) {
+	if ops > 0 {
+		c.work += ops * c.leaf.CompSlowdown
+	}
+}
+
+func (c *vctx) Send(dst, tag int, payload []byte) error {
+	if dst < 0 || dst >= c.NProcs() {
+		return fmt.Errorf("hbsp: send to pid %d of %d", dst, c.NProcs())
+	}
+	c.seq++
+	c.outbox = append(c.outbox, pendingMsg{src: c.pid, dst: dst, tag: tag, payload: payload, seq: c.seq})
+	return nil
+}
+
+func (c *vctx) Sync(scope *model.Machine, label string) error {
+	if scope == nil {
+		return errors.New("hbsp: Sync with nil scope")
+	}
+	req := &vrequest{
+		pid: c.pid, kind: 's', scope: scope, label: label,
+		work: c.work, outbox: c.outbox, resume: c.resume,
+	}
+	c.work = 0
+	c.outbox = nil
+	c.reqs <- req
+	err := <-c.resume
+	if err != nil {
+		return err
+	}
+	c.inbox = c.eng.takeInbox(c.pid)
+	return nil
+}
+
+// Run executes the program on every processor and returns the run's
+// report. The error is the first processor error, or ErrDesync-wrapped
+// diagnostics for malformed synchronization.
+func (v *Virtual) Run(prog Program) (*trace.Report, error) {
+	p := v.tree.NProcs()
+	reqs := make(chan *vrequest)
+	ctxs := make([]*vctx, p)
+	for pid := 0; pid < p; pid++ {
+		ctxs[pid] = &vctx{
+			pid:    pid,
+			leaf:   v.tree.Leaf(pid),
+			eng:    v,
+			reqs:   reqs,
+			resume: make(chan error, 1),
+		}
+	}
+	v.inboxes = make([][]Message, p)
+	for pid := 0; pid < p; pid++ {
+		go func(c *vctx) {
+			var err error
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("hbsp: processor %d panicked: %v", c.pid, r)
+				}
+				// Work charged after the last sync is a trailing
+				// compute-only step: it extends this processor's clock.
+				reqs <- &vrequest{pid: c.pid, kind: 'd', err: err, work: c.work}
+			}()
+			err = prog(c)
+		}(ctxs[pid])
+	}
+	return v.coordinate(reqs, ctxs)
+}
+
+// engine-side run state (recreated per Run; Virtual is not reusable
+// concurrently but may be reused serially).
+type runState struct {
+	pending     []*vrequest // by pid, nil = running
+	done        []bool
+	clocks      []float64
+	undelivered []pendingMsg
+	steps       []trace.Step
+	firstErr    error
+}
+
+// inboxes staged for pickup by vctx.Sync after resume.
+func (v *Virtual) takeInbox(pid int) []Message {
+	in := v.inboxes[pid]
+	v.inboxes[pid] = nil
+	return in
+}
+
+func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, error) {
+	p := v.tree.NProcs()
+	st := &runState{
+		pending: make([]*vrequest, p),
+		done:    make([]bool, p),
+		clocks:  make([]float64, p),
+	}
+	running := p
+	for running > 0 {
+		req := <-reqs
+		switch req.kind {
+		case 'd':
+			st.done[req.pid] = true
+			st.clocks[req.pid] += req.work
+			running--
+			if req.err != nil && st.firstErr == nil {
+				st.firstErr = req.err
+			}
+		case 's':
+			st.pending[req.pid] = req
+		}
+		v.release(st)
+		if v.MaxSteps > 0 && len(st.steps) >= v.MaxSteps && st.firstErr == nil {
+			st.firstErr = fmt.Errorf("%w: %d supersteps completed", ErrStepLimit, len(st.steps))
+		}
+		// Deadlock / desync detection: every live processor is blocked
+		// in a sync and nothing released.
+		if st.firstErr == nil && v.stuck(st, running) {
+			st.firstErr = v.desyncError(st)
+			for pid, r := range st.pending {
+				if r != nil {
+					st.pending[pid] = nil
+					r.resume <- st.firstErr
+				}
+			}
+		}
+		// On error, unblock any processor that syncs afterwards.
+		if st.firstErr != nil {
+			for pid, r := range st.pending {
+				if r != nil {
+					st.pending[pid] = nil
+					r.resume <- st.firstErr
+				}
+			}
+		}
+	}
+	total := 0.0
+	for _, c := range st.clocks {
+		if c > total {
+			total = c
+		}
+	}
+	rep := &trace.Report{Steps: st.steps, Total: total}
+	return rep, st.firstErr
+}
+
+// stuck reports whether all unfinished processors are blocked with no
+// releasable scope.
+func (v *Virtual) stuck(st *runState, running int) bool {
+	blocked := 0
+	for pid := range st.pending {
+		if st.pending[pid] != nil {
+			blocked++
+		}
+	}
+	if blocked == 0 || blocked != running {
+		return false
+	}
+	// A desync also occurs when a processor has exited while another
+	// waits on a scope containing it; release() found nothing, so if
+	// every live processor is blocked the run cannot progress.
+	return true
+}
+
+func (v *Virtual) desyncError(st *runState) error {
+	var parts []string
+	for pid, r := range st.pending {
+		if r != nil {
+			parts = append(parts, fmt.Sprintf("p%d@%s(%s)", pid, r.scope.Label(), r.label))
+		}
+	}
+	for pid, d := range st.done {
+		if d {
+			parts = append(parts, fmt.Sprintf("p%d:exited", pid))
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrDesync, strings.Join(parts, " "))
+}
+
+// release completes every scope whose entire leaf set is pending on it.
+// At most one scope can become releasable per arrival, but releasing it
+// may immediately enable nothing else (participants must re-request), so
+// a single pass suffices.
+func (v *Virtual) release(st *runState) {
+	seen := map[*model.Machine]bool{}
+	for pid := range st.pending {
+		r := st.pending[pid]
+		if r == nil || seen[r.scope] {
+			continue
+		}
+		seen[r.scope] = true
+		leaves := r.scope.Leaves()
+		ready := true
+		for _, l := range leaves {
+			lp := v.tree.Pid(l)
+			if q := st.pending[lp]; q == nil || q.scope != r.scope {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			v.completeStep(st, r.scope, leaves)
+		}
+	}
+}
+
+// completeStep charges and finishes one super^i-step.
+func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*model.Machine) {
+	pids := make([]int, len(leaves))
+	inScope := make(map[int]bool, len(leaves))
+	for i, l := range leaves {
+		pids[i] = v.tree.Pid(l)
+		inScope[pids[i]] = true
+	}
+	sort.Ints(pids)
+
+	start := 0.0
+	works := make(map[int]float64, len(pids))
+	label := ""
+	var outbox []pendingMsg
+	for _, pid := range pids {
+		r := st.pending[pid]
+		if st.clocks[pid] > start {
+			start = st.clocks[pid]
+		}
+		works[pid] = r.work
+		if label == "" {
+			label = r.label
+		}
+		outbox = append(outbox, r.outbox...)
+	}
+	st.undelivered = append(st.undelivered, outbox...)
+
+	// Deliverable: both endpoints inside the scope.
+	var deliver []pendingMsg
+	rest := st.undelivered[:0]
+	for _, m := range st.undelivered {
+		if inScope[m.src] && inScope[m.dst] {
+			deliver = append(deliver, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	st.undelivered = rest
+
+	flows := make([]cost.Flow, len(deliver))
+	for i, m := range deliver {
+		flows[i] = cost.Flow{Src: m.src, Dst: m.dst, Bytes: len(m.payload)}
+	}
+	res := v.fab.StepCost(scope, label, flows, works)
+	end := start + res.Time
+
+	// Stage inboxes in sender/seq order.
+	sort.SliceStable(deliver, func(a, b int) bool {
+		if deliver[a].src != deliver[b].src {
+			return deliver[a].src < deliver[b].src
+		}
+		return deliver[a].seq < deliver[b].seq
+	})
+	for _, m := range deliver {
+		v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
+	}
+
+	st.steps = append(st.steps, trace.Step{
+		Index:        len(st.steps),
+		Label:        label,
+		ScopeLabel:   scope.Label(),
+		ScopeName:    scope.Name,
+		Level:        scope.Level,
+		Participants: len(pids),
+		W:            res.W,
+		H:            res.H,
+		Comm:         res.Comm,
+		Sync:         res.Sync,
+		Time:         res.Time,
+		Flows:        res.Flows,
+		Bytes:        res.Bytes,
+		GatingPid:    res.GatingPid,
+		Imbalance:    res.Imbalance,
+		Start:        start,
+		End:          end,
+	})
+
+	for _, pid := range pids {
+		st.clocks[pid] = end
+		r := st.pending[pid]
+		st.pending[pid] = nil
+		r.resume <- nil
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the machine tree in Graphviz format: clusters as boxes,
+// processors as ellipses, labels carrying the model parameters, and the
+// coordinator path highlighted — `dot -Tsvg` turns any spec into the
+// paper's Figure 2.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph hbspk {\n")
+	b.WriteString("  rankdir=TB;\n")
+	fmt.Fprintf(&b, "  label=\"HBSP^%d machine, g=%g\";\n", t.K(), t.G)
+	b.WriteString("  node [fontsize=10];\n")
+
+	id := func(m *Machine) string { return fmt.Sprintf("m_%d_%d", m.Level, m.Index) }
+	coordinators := map[*Machine]bool{}
+	t.Root.Walk(func(m *Machine) {
+		if !m.IsLeaf() {
+			// Mark the coordinator path of every cluster.
+			for x := m.Coordinator(); x != nil && x != m; x = x.Parent() {
+				coordinators[x] = true
+			}
+		}
+	})
+
+	t.Root.Walk(func(m *Machine) {
+		shape := "ellipse"
+		if !m.IsLeaf() {
+			shape = "box"
+		}
+		style := ""
+		if m.IsLeaf() && coordinators[m] {
+			style = ", style=bold"
+		}
+		label := fmt.Sprintf("%s\\n%s\\nr=%.3g s=%.3g", m.Label(), m.Name, m.CommSlowdown, m.CompSlowdown)
+		if !m.IsLeaf() {
+			label += fmt.Sprintf("\\nL=%.3g", m.SyncCost)
+		}
+		label += fmt.Sprintf("\\nc=%.3g", m.Share)
+		fmt.Fprintf(&b, "  %s [shape=%s%s, label=\"%s\"];\n", id(m), shape, style, label)
+		for _, c := range m.Children {
+			edgeStyle := ""
+			if coordinators[c] || (c.IsLeaf() && c == m.Coordinator()) {
+				edgeStyle = " [penwidth=2]"
+			}
+			fmt.Fprintf(&b, "  %s -> %s%s;\n", id(m), id(c), edgeStyle)
+		}
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

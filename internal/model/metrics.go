@@ -1,0 +1,90 @@
+package model
+
+import "math"
+
+// Heterogeneity metrics: summary numbers the model's users reach for
+// when deciding whether a machine is worth the HBSP^k treatment at all
+// (§3.4: "Not all problems will be able to exploit the capabilities
+// offered by these systems").
+
+// ComputePower returns the machine's aggregate compute power in
+// fastest-machine units: Σ 1/s_j over processors. A homogeneous machine
+// of p processors has power p; a heterogeneous one strictly less than p
+// per slow machine.
+func (t *Tree) ComputePower() float64 {
+	power := 0.0
+	for _, l := range t.leaves {
+		power += 1 / l.CompSlowdown
+	}
+	return power
+}
+
+// HeterogeneityDegree measures how uneven the machine is: the
+// coefficient of variation of the leaf compute slowdowns (0 for a
+// homogeneous machine).
+func (t *Tree) HeterogeneityDegree() float64 {
+	p := float64(t.NProcs())
+	mean := 0.0
+	for _, l := range t.leaves {
+		mean += l.CompSlowdown
+	}
+	mean /= p
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, l := range t.leaves {
+		d := l.CompSlowdown - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/p) / mean
+}
+
+// IdealBalancedSpeedup returns the speedup of a perfectly balanced,
+// compute-bound workload over running it on the fastest machine alone:
+// exactly ComputePower. The equal-partition speedup is p/s_max — the
+// gap between the two is what §4.1's balanced workloads recover.
+func (t *Tree) IdealBalancedSpeedup() float64 { return t.ComputePower() }
+
+// EqualPartitionSpeedup returns the compute-bound speedup when every
+// processor receives n/p: the slowest machine gates, so p/s_max.
+func (t *Tree) EqualPartitionSpeedup() float64 {
+	smax := 0.0
+	for _, l := range t.leaves {
+		if l.CompSlowdown > smax {
+			smax = l.CompSlowdown
+		}
+	}
+	if smax == 0 {
+		return 0
+	}
+	return float64(t.NProcs()) / smax
+}
+
+// BalanceGain is the ratio of the two speedups: how much a balanced
+// workload buys on this machine for compute-bound work (1 for
+// homogeneous machines).
+func (t *Tree) BalanceGain() float64 {
+	eq := t.EqualPartitionSpeedup()
+	if eq == 0 {
+		return math.Inf(1)
+	}
+	return t.IdealBalancedSpeedup() / eq
+}
+
+// SyncDepthCost sums the barrier costs along the deepest path of the
+// tree: the fixed price of one full sweep of hierarchical supersteps
+// (gather or broadcast touch every level once).
+func (t *Tree) SyncDepthCost() float64 {
+	var walk func(m *Machine) float64
+	walk = func(m *Machine) float64 {
+		best := 0.0
+		for _, c := range m.Children {
+			if v := walk(c); v > best {
+				best = v
+			}
+		}
+		return best + m.SyncCost
+	}
+	return walk(t.Root)
+}

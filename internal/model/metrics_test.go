@@ -1,0 +1,111 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHomogeneousMetrics(t *testing.T) {
+	tr := Homogeneous(8, 100)
+	if got := tr.ComputePower(); got != 8 {
+		t.Errorf("power = %v, want 8", got)
+	}
+	if got := tr.HeterogeneityDegree(); got != 0 {
+		t.Errorf("heterogeneity = %v, want 0", got)
+	}
+	if got := tr.BalanceGain(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("balance gain = %v, want 1", got)
+	}
+	if got := tr.EqualPartitionSpeedup(); got != 8 {
+		t.Errorf("equal speedup = %v, want 8", got)
+	}
+}
+
+func TestTestbedMetrics(t *testing.T) {
+	tr := UCFTestbed()
+	power := tr.ComputePower()
+	if power <= float64(TestbedSize)/2.2 || power >= float64(TestbedSize) {
+		t.Errorf("power = %v, want in (%v, %v)", power, float64(TestbedSize)/2.2, TestbedSize)
+	}
+	if got := tr.EqualPartitionSpeedup(); math.Abs(got-10/2.2) > 1e-9 {
+		t.Errorf("equal speedup = %v, want %v", got, 10/2.2)
+	}
+	if gain := tr.BalanceGain(); gain <= 1 {
+		t.Errorf("balance gain = %v, want > 1 on a heterogeneous machine", gain)
+	}
+	if h := tr.HeterogeneityDegree(); h <= 0 || h > 1 {
+		t.Errorf("heterogeneity = %v, want in (0, 1]", h)
+	}
+}
+
+func TestSyncDepthCost(t *testing.T) {
+	tr := Figure1Cluster()
+	// Deepest path: campus (250000) + LAN (25000); leaves cost 0.
+	if got := tr.SyncDepthCost(); got != 275000 {
+		t.Errorf("sync depth = %v, want 275000", got)
+	}
+	if got := SingleProcessor().SyncDepthCost(); got != 0 {
+		t.Errorf("single-processor sync depth = %v, want 0", got)
+	}
+}
+
+// Property: balanced speedup dominates equal-partition speedup, and both
+// are at most p.
+func TestPropertySpeedupOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(rng, 2, 4)
+		p := float64(tr.NProcs())
+		bal, eq := tr.IdealBalancedSpeedup(), tr.EqualPartitionSpeedup()
+		return bal >= eq-1e-12 && bal <= p+1e-12 && eq <= p+1e-12 && eq > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	tr := Figure1Cluster()
+	dot := tr.DOT()
+	for _, want := range []string{"digraph hbspk", "HBSP^2", "shape=box", "shape=ellipse", "M_{2,0}", "->", "penwidth=2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// One node line per machine.
+	nodes := strings.Count(dot, "shape=")
+	total := 0
+	tr.Root.Walk(func(*Machine) { total++ })
+	if nodes != total {
+		t.Errorf("%d node declarations for %d machines", nodes, total)
+	}
+}
+
+func TestSubtreeExtraction(t *testing.T) {
+	tr := Figure1Cluster()
+	lan, err := tr.Subtree(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lan.Root.Name != "LAN" || lan.K() != 1 || lan.NProcs() != 4 {
+		t.Fatalf("subtree = %s k=%d p=%d", lan.Root.Name, lan.K(), lan.NProcs())
+	}
+	if err := lan.Validate(); err != nil {
+		t.Fatalf("subtree invalid: %v", err)
+	}
+	// Normalization is local: the LAN's fastest member has r = 1 in the
+	// extracted view even though it was 2 in the parent machine.
+	if r := lan.FastestLeaf().CommSlowdown; math.Abs(r-1) > 1e-12 {
+		t.Errorf("subtree fastest r = %v, want 1", r)
+	}
+	// The parent tree is untouched.
+	if tr.Lookup(1, 2).Leaves()[0].CommSlowdown == 1 {
+		t.Error("extraction mutated the parent tree")
+	}
+	if _, err := tr.Subtree(9, 9); err == nil {
+		t.Error("bogus coordinates accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: every random tree is valid after Normalize, for any seed.
+func TestRandomTreeAlwaysValid(t *testing.T) {
+	f := func(seed int64, k, fanout uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(rng, int(k%4), int(fanout%5)+1)
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: leaf shares always sum to 1 and each cluster's share equals
+// the sum of its children's.
+func TestRandomTreeShareInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(rng, 3, 4)
+		sum := 0.0
+		for _, l := range tr.Leaves() {
+			sum += l.Share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		ok := true
+		tr.Root.Walk(func(m *Machine) {
+			if m.IsLeaf() {
+				return
+			}
+			s := 0.0
+			for _, c := range m.Children {
+				s += c.Share
+			}
+			if math.Abs(s-m.Share) > 1e-9 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the level of every machine equals K minus its depth, the
+// defining relation of §3.1.
+func TestRandomTreeLevelRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(rng, 4, 3)
+		ok := true
+		var walk func(m *Machine, depth int)
+		walk = func(m *Machine, depth int) {
+			if m.Level != tr.K()-depth {
+				ok = false
+			}
+			for _, c := range m.Children {
+				walk(c, depth+1)
+			}
+		}
+		walk(tr.Root, 0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: spec round-trip (tree → spec → JSON → spec → tree) preserves
+// shape and parameters.
+func TestSpecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(rng, 3, 4)
+		data, err := SpecOf(tr).Encode()
+		if err != nil {
+			return false
+		}
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return false
+		}
+		back, err := spec.Tree()
+		if err != nil {
+			return false
+		}
+		if back.K() != tr.K() || back.NProcs() != tr.NProcs() || back.G != tr.G {
+			return false
+		}
+		for i, l := range tr.Leaves() {
+			b := back.Leaves()[i]
+			if b.Name != l.Name ||
+				math.Abs(b.CommSlowdown-l.CommSlowdown) > 1e-9 ||
+				math.Abs(b.CompSlowdown-l.CompSlowdown) > 1e-9 ||
+				math.Abs(b.Share-l.Share) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize is idempotent on random trees.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(rng, 3, 4)
+		b1, _ := SpecOf(tr).Encode()
+		tr.Normalize()
+		b2, _ := SpecOf(tr).Encode()
+		return string(b1) == string(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RandomTree with the same seed is deterministic.
+func TestRandomTreeDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		t1 := RandomTree(rand.New(rand.NewSource(seed)), 3, 4)
+		t2 := RandomTree(rand.New(rand.NewSource(seed)), 3, 4)
+		b1, _ := SpecOf(t1).Encode()
+		b2, _ := SpecOf(t2).Encode()
+		return string(b1) == string(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: machine-class containment HBSP^{k-1} ⊂ HBSP^k (§3.1): any
+// valid tree of height k-1 embeds as a child of a valid tree of height
+// k without invalidating it.
+func TestMachineClassContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inner := RandomTree(rng, 2, 3)
+		wrapped := NewCluster("wrap", []*Machine{
+			inner.Root.clone(),
+			NewLeaf("extra", WithComm(2), WithComp(2)),
+		}, WithSync(10))
+		tr := MustNew(wrapped, inner.G).Normalize()
+		return tr.Validate() == nil && tr.K() == inner.K()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomTree generates a random valid HBSP^k machine for property-based
+// tests: height at most maxK, fanout in [1, maxFanout], communication
+// slowdowns in [1, 8), compute slowdowns in [1, 4), sync costs in
+// [0, 100), and cluster-level slowdowns that grow with height so upper
+// networks are slower, as in real hierarchies. The result is normalized
+// and always passes Validate.
+func RandomTree(rng *rand.Rand, maxK, maxFanout int) *Tree {
+	if maxK < 0 {
+		maxK = 0
+	}
+	if maxFanout < 1 {
+		maxFanout = 1
+	}
+	var id int
+	var build func(h int) *Machine
+	build = func(h int) *Machine {
+		id++
+		if h == 0 {
+			return NewLeaf(fmt.Sprintf("p%d", id),
+				WithComm(1+rng.Float64()*7),
+				WithComp(1+rng.Float64()*3))
+		}
+		fanout := 1 + rng.Intn(maxFanout)
+		children := make([]*Machine, fanout)
+		for i := range children {
+			// At least one child keeps the full height so the tree
+			// reaches maxK; others may be shallower or leaves.
+			ch := h - 1
+			if i > 0 {
+				ch = rng.Intn(h)
+			}
+			children[i] = build(ch)
+		}
+		return NewCluster(fmt.Sprintf("c%d", id), children,
+			WithComm(float64(h)*(1+rng.Float64()*4)),
+			WithSync(rng.Float64()*100))
+	}
+	k := 0
+	if maxK > 0 {
+		k = 1 + rng.Intn(maxK)
+	}
+	return MustNew(build(k), 0.5+rng.Float64()*4).Normalize()
+}

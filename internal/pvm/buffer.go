@@ -1,0 +1,247 @@
+// Package pvm is an in-process substrate in the style of PVM, the
+// Parallel Virtual Machine the paper's HBSPlib was implemented on
+// (§5.1): spawned tasks with mailboxes, typed pack/unpack message
+// buffers in a fixed big-endian wire format (PVM's XDR), selective
+// receive by source and tag, multicast, and named group barriers. Tasks
+// are goroutines and wires are in-memory queues; the semantics visible
+// to HBSPlib — reliable, ordered, typed point-to-point messaging — match
+// the original.
+package pvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire-format type codes, one per packed value, so that unpacking
+// mismatches are detected instead of silently misreading (PVM's typed
+// packing behaves the same way).
+const (
+	codeInt32 byte = iota + 1
+	codeInt64
+	codeFloat64
+	codeString
+	codeBytes
+)
+
+// CodeBytes is the wire type code of a packed byte slice, exported for
+// callers that need to peek at undecoded frames (package hbsp's DRMA
+// layer distinguishes payload frames from length frames this way).
+const CodeBytes = codeBytes
+
+// ErrBufferUnderflow is returned when unpacking past the end of a
+// buffer.
+var ErrBufferUnderflow = errors.New("pvm: unpack past end of buffer")
+
+// Buffer is a typed pack/unpack message buffer. Packing appends; a
+// buffer received in a message unpacks from the front in packing order.
+type Buffer struct {
+	data []byte
+	off  int
+}
+
+// NewBuffer returns an empty send buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// bufferFrom wraps received bytes for unpacking.
+func bufferFrom(data []byte) *Buffer { return &Buffer{data: data} }
+
+// Wrap returns an unpacker over raw wire bytes produced by a Buffer's
+// Bytes. The buffer aliases data.
+func Wrap(data []byte) *Buffer { return bufferFrom(data) }
+
+// Len returns the total encoded length in bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Remaining returns the number of unread bytes.
+func (b *Buffer) Remaining() int { return len(b.data) - b.off }
+
+// Bytes returns the encoded wire bytes.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+func (b *Buffer) packCode(c byte) { b.data = append(b.data, c) }
+
+func (b *Buffer) checkCode(want byte) error {
+	if b.off >= len(b.data) {
+		return ErrBufferUnderflow
+	}
+	got := b.data[b.off]
+	if got != want {
+		return fmt.Errorf("pvm: unpack type mismatch: have code %d, want %d", got, want)
+	}
+	b.off++
+	return nil
+}
+
+func (b *Buffer) take(n int) ([]byte, error) {
+	if b.off+n > len(b.data) {
+		return nil, ErrBufferUnderflow
+	}
+	out := b.data[b.off : b.off+n]
+	b.off += n
+	return out, nil
+}
+
+// PackInt32 appends 32-bit integers.
+func (b *Buffer) PackInt32(vs ...int32) *Buffer {
+	for _, v := range vs {
+		b.packCode(codeInt32)
+		b.data = binary.BigEndian.AppendUint32(b.data, uint32(v))
+	}
+	return b
+}
+
+// UnpackInt32 reads the next 32-bit integer.
+func (b *Buffer) UnpackInt32() (int32, error) {
+	if err := b.checkCode(codeInt32); err != nil {
+		return 0, err
+	}
+	raw, err := b.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int32(binary.BigEndian.Uint32(raw)), nil
+}
+
+// PackInt64 appends 64-bit integers.
+func (b *Buffer) PackInt64(vs ...int64) *Buffer {
+	for _, v := range vs {
+		b.packCode(codeInt64)
+		b.data = binary.BigEndian.AppendUint64(b.data, uint64(v))
+	}
+	return b
+}
+
+// UnpackInt64 reads the next 64-bit integer.
+func (b *Buffer) UnpackInt64() (int64, error) {
+	if err := b.checkCode(codeInt64); err != nil {
+		return 0, err
+	}
+	raw, err := b.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(raw)), nil
+}
+
+// PackFloat64 appends IEEE-754 doubles.
+func (b *Buffer) PackFloat64(vs ...float64) *Buffer {
+	for _, v := range vs {
+		b.packCode(codeFloat64)
+		b.data = binary.BigEndian.AppendUint64(b.data, math.Float64bits(v))
+	}
+	return b
+}
+
+// UnpackFloat64 reads the next double.
+func (b *Buffer) UnpackFloat64() (float64, error) {
+	if err := b.checkCode(codeFloat64); err != nil {
+		return 0, err
+	}
+	raw, err := b.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(raw)), nil
+}
+
+// PackString appends a length-prefixed string.
+func (b *Buffer) PackString(s string) *Buffer {
+	b.packCode(codeString)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(len(s)))
+	b.data = append(b.data, s...)
+	return b
+}
+
+// UnpackString reads the next string.
+func (b *Buffer) UnpackString() (string, error) {
+	if err := b.checkCode(codeString); err != nil {
+		return "", err
+	}
+	raw, err := b.take(4)
+	if err != nil {
+		return "", err
+	}
+	n := int(binary.BigEndian.Uint32(raw))
+	body, err := b.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// PackBytes appends a length-prefixed byte slice.
+func (b *Buffer) PackBytes(p []byte) *Buffer {
+	b.packCode(codeBytes)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(len(p)))
+	b.data = append(b.data, p...)
+	return b
+}
+
+// UnpackBytes reads the next byte slice. The returned slice aliases the
+// buffer; copy it if it must outlive the message.
+func (b *Buffer) UnpackBytes() ([]byte, error) {
+	if err := b.checkCode(codeBytes); err != nil {
+		return nil, err
+	}
+	raw, err := b.take(4)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(raw))
+	return b.take(n)
+}
+
+// PackInt64Slice appends a length-prefixed []int64 in one call.
+func (b *Buffer) PackInt64Slice(vs []int64) *Buffer {
+	b.packCode(codeBytes)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(8*len(vs)))
+	for _, v := range vs {
+		b.data = binary.BigEndian.AppendUint64(b.data, uint64(v))
+	}
+	return b
+}
+
+// UnpackInt64Slice reads a slice packed by PackInt64Slice.
+func (b *Buffer) UnpackInt64Slice() ([]int64, error) {
+	raw, err := b.UnpackBytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("pvm: int64 slice payload of %d bytes", len(raw))
+	}
+	out := make([]int64, len(raw)/8)
+	for i := range out {
+		out[i] = int64(binary.BigEndian.Uint64(raw[8*i:]))
+	}
+	return out, nil
+}
+
+// PackInt32Slice appends a length-prefixed []int32 in one call.
+func (b *Buffer) PackInt32Slice(vs []int32) *Buffer {
+	b.packCode(codeBytes)
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(4*len(vs)))
+	for _, v := range vs {
+		b.data = binary.BigEndian.AppendUint32(b.data, uint32(v))
+	}
+	return b
+}
+
+// UnpackInt32Slice reads a slice packed by PackInt32Slice.
+func (b *Buffer) UnpackInt32Slice() ([]int32, error) {
+	raw, err := b.UnpackBytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("pvm: int32 slice payload of %d bytes", len(raw))
+	}
+	out := make([]int32, len(raw)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}

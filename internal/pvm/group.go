@@ -1,0 +1,138 @@
+package pvm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dynamic process groups, PVM's pvm_joingroup / pvm_lvgroup /
+// pvm_gettid / pvm_gsize family: tasks join named groups at runtime,
+// are assigned dense instance numbers, and can barrier or multicast
+// within the group. HBSPlib's cluster scopes are static; groups are the
+// dynamic complement the substrate offered.
+
+type group struct {
+	mu      sync.Mutex
+	members map[TID]int // tid → instance number
+	free    []int       // recycled instance numbers (smallest first)
+	next    int
+}
+
+func (s *System) group(name string) *group {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.groups == nil {
+		s.groups = make(map[string]*group)
+	}
+	g, ok := s.groups[name]
+	if !ok {
+		g = &group{members: make(map[TID]int)}
+		s.groups[name] = g
+	}
+	return g
+}
+
+// JoinGroup adds the task to the named group and returns its instance
+// number: the smallest number not in use, so instances stay dense as
+// tasks come and go (PVM's behavior). Joining twice returns the same
+// instance.
+func (t *Task) JoinGroup(name string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("pvm: empty group name")
+	}
+	g := t.sys.group(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if inst, ok := g.members[t.tid]; ok {
+		return inst, nil
+	}
+	var inst int
+	if len(g.free) > 0 {
+		inst = g.free[0]
+		g.free = g.free[1:]
+	} else {
+		inst = g.next
+		g.next++
+	}
+	g.members[t.tid] = inst
+	return inst, nil
+}
+
+// LeaveGroup removes the task; its instance number becomes reusable.
+func (t *Task) LeaveGroup(name string) error {
+	g := t.sys.group(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	inst, ok := g.members[t.tid]
+	if !ok {
+		return fmt.Errorf("pvm: task %d not in group %q", t.tid, name)
+	}
+	delete(g.members, t.tid)
+	i := sort.SearchInts(g.free, inst)
+	g.free = append(g.free, 0)
+	copy(g.free[i+1:], g.free[i:])
+	g.free[i] = inst
+	return nil
+}
+
+// GroupSize returns the current member count (pvm_gsize).
+func (t *Task) GroupSize(name string) int {
+	g := t.sys.group(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// GroupInstance returns the task's instance number in the group, or -1
+// (pvm_getinst).
+func (t *Task) GroupInstance(name string) int {
+	g := t.sys.group(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if inst, ok := g.members[t.tid]; ok {
+		return inst
+	}
+	return -1
+}
+
+// GroupTID returns the TID holding the given instance number, or -1
+// (pvm_gettid).
+func (t *Task) GroupTID(name string, instance int) TID {
+	g := t.sys.group(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for tid, inst := range g.members {
+		if inst == instance {
+			return tid
+		}
+	}
+	return -1
+}
+
+// GroupMembers returns the member TIDs ordered by instance number.
+func (t *Task) GroupMembers(name string) []TID {
+	g := t.sys.group(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	type pair struct {
+		tid  TID
+		inst int
+	}
+	ps := make([]pair, 0, len(g.members))
+	for tid, inst := range g.members {
+		ps = append(ps, pair{tid, inst})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].inst < ps[j].inst })
+	out := make([]TID, len(ps))
+	for i, p := range ps {
+		out[i] = p.tid
+	}
+	return out
+}
+
+// GroupMcast multicasts to every current member except the sender
+// (pvm_bcast — PVM's "broadcast" excludes the caller like mcast).
+func (t *Task) GroupMcast(name string, tag int, buf *Buffer) error {
+	return t.Mcast(t.GroupMembers(name), tag, buf)
+}

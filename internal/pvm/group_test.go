@@ -1,0 +1,174 @@
+package pvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGroupJoinAssignsDenseInstances(t *testing.T) {
+	s := NewSystem()
+	const n = 6
+	insts := make([]int, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("t%d", i), func(tk *Task) error {
+			inst, err := tk.JoinGroup("work")
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			insts[i] = inst
+			mu.Unlock()
+			// Idempotent: rejoining returns the same instance.
+			again, err := tk.JoinGroup("work")
+			if err != nil || again != inst {
+				return fmt.Errorf("rejoin gave %d, want %d (%v)", again, inst, err)
+			}
+			return tk.Barrier("done", n)
+		})
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, inst := range insts {
+		if inst < 0 || inst >= n || seen[inst] {
+			t.Fatalf("instances not dense/unique: %v", insts)
+		}
+		seen[inst] = true
+	}
+}
+
+func TestGroupLeaveRecyclesInstances(t *testing.T) {
+	s := NewSystem()
+	s.Spawn("solo", func(tk *Task) error {
+		if _, err := tk.JoinGroup("g"); err != nil {
+			return err
+		}
+		if err := tk.LeaveGroup("g"); err != nil {
+			return err
+		}
+		if tk.GroupSize("g") != 0 {
+			return errors.New("group not empty after leave")
+		}
+		inst, err := tk.JoinGroup("g")
+		if err != nil {
+			return err
+		}
+		if inst != 0 {
+			return fmt.Errorf("instance after recycle = %d, want 0", inst)
+		}
+		if err := tk.LeaveGroup("nope"); err == nil {
+			return errors.New("leaving a group never joined succeeded")
+		}
+		return nil
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLookupsAndMcast(t *testing.T) {
+	s := NewSystem()
+	const n = 4
+	recv := make([]int, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("t%d", i), func(tk *Task) error {
+			inst, err := tk.JoinGroup("g")
+			if err != nil {
+				return err
+			}
+			if err := tk.Barrier("joined", n); err != nil {
+				return err
+			}
+			if got := tk.GroupInstance("g"); got != inst {
+				return fmt.Errorf("GroupInstance = %d, want %d", got, inst)
+			}
+			if got := tk.GroupTID("g", inst); got != tk.TID() {
+				return fmt.Errorf("GroupTID = %d, want %d", got, tk.TID())
+			}
+			if got := tk.GroupSize("g"); got != n {
+				return fmt.Errorf("GroupSize = %d, want %d", got, n)
+			}
+			if len(tk.GroupMembers("g")) != n {
+				return errors.New("GroupMembers incomplete")
+			}
+			// Instance 0 multicasts to the group.
+			if inst == 0 {
+				if err := tk.GroupMcast("g", 7, NewBuffer().PackInt32(1)); err != nil {
+					return err
+				}
+			} else {
+				if _, err := tk.Recv(AnySource, 7); err != nil {
+					return err
+				}
+				mu.Lock()
+				recv[i]++
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, v := range recv {
+		count += v
+	}
+	if count != n-1 {
+		t.Errorf("%d members received the mcast, want %d", count, n-1)
+	}
+}
+
+func TestGroupInstanceOfNonMember(t *testing.T) {
+	s := NewSystem()
+	s.Spawn("t", func(tk *Task) error {
+		if got := tk.GroupInstance("never"); got != -1 {
+			return fmt.Errorf("instance = %d, want -1", got)
+		}
+		if got := tk.GroupTID("never", 3); got != -1 {
+			return fmt.Errorf("tid = %d, want -1", got)
+		}
+		if _, err := tk.JoinGroup(""); err == nil {
+			return errors.New("empty group name accepted")
+		}
+		return nil
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	s := NewSystem()
+	s.Spawn("t", func(tk *Task) error {
+		if tk.Probe(AnySource, AnyTag) {
+			return errors.New("probe matched on empty mailbox")
+		}
+		if err := tk.Send(tk.TID(), 4, NewBuffer().PackInt32(1)); err != nil {
+			return err
+		}
+		if !tk.Probe(AnySource, 4) {
+			return errors.New("probe missed queued message")
+		}
+		if !tk.Probe(AnySource, 4) {
+			return errors.New("probe consumed the message")
+		}
+		if tk.Probe(AnySource, 5) {
+			return errors.New("probe matched wrong tag")
+		}
+		if _, ok := tk.TryRecv(AnySource, 4); !ok {
+			return errors.New("message gone after probes")
+		}
+		return nil
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

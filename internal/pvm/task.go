@@ -1,0 +1,300 @@
+package pvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// TID identifies a spawned task, PVM-style.
+type TID int
+
+// AnySource and AnyTag are the wildcards of selective receive.
+const (
+	AnySource TID = -1
+	AnyTag    int = -1
+)
+
+// Message is a delivered packed buffer.
+type Message struct {
+	Src TID
+	Tag int
+	buf []byte
+}
+
+// Buffer returns an unpacker positioned at the start of the message.
+func (m Message) Buffer() *Buffer { return bufferFrom(m.buf) }
+
+// Len returns the message's wire length in bytes.
+func (m Message) Len() int { return len(m.buf) }
+
+// ErrHalted is returned by blocking operations after Halt.
+var ErrHalted = errors.New("pvm: system halted")
+
+// System is the virtual machine: it spawns tasks, routes messages and
+// hosts group barriers.
+type System struct {
+	mu       sync.Mutex
+	tasks    map[TID]*Task
+	nextTID  TID
+	halted   bool
+	wg       sync.WaitGroup
+	barriers map[string]*barrier
+	groups   map[string]*group
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// NewSystem returns an empty virtual machine.
+func NewSystem() *System {
+	return &System{
+		tasks:    make(map[TID]*Task),
+		barriers: make(map[string]*barrier),
+	}
+}
+
+// Spawn starts fn as a new task and returns its TID. A panic inside fn
+// is recovered and reported by Wait; an error return is likewise
+// collected.
+func (s *System) Spawn(name string, fn func(*Task) error) TID {
+	s.mu.Lock()
+	tid := s.nextTID
+	s.nextTID++
+	t := &Task{tid: tid, name: name, sys: s, halted: s.halted}
+	t.cond = sync.NewCond(&t.mu)
+	s.tasks[tid] = t
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				s.report(fmt.Errorf("pvm: task %d (%s) panicked: %v", tid, name, r))
+			}
+		}()
+		if err := fn(t); err != nil {
+			s.report(fmt.Errorf("pvm: task %d (%s): %w", tid, name, err))
+		}
+	}()
+	return tid
+}
+
+func (s *System) report(err error) {
+	s.errMu.Lock()
+	s.errs = append(s.errs, err)
+	s.errMu.Unlock()
+}
+
+// Wait blocks until every spawned task has returned and reports the
+// first collected error.
+func (s *System) Wait() error {
+	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if len(s.errs) > 0 {
+		return s.errs[0]
+	}
+	return nil
+}
+
+// Errors returns all collected task errors after Wait.
+func (s *System) Errors() []error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return append([]error(nil), s.errs...)
+}
+
+// Halt wakes every blocked receive and barrier with ErrHalted. Used to
+// tear down a wedged system in tests and error paths.
+func (s *System) Halt() {
+	s.mu.Lock()
+	s.halted = true
+	tasks := make([]*Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		tasks = append(tasks, t)
+	}
+	barriers := make([]*barrier, 0, len(s.barriers))
+	for _, b := range s.barriers {
+		barriers = append(barriers, b)
+	}
+	s.mu.Unlock()
+	for _, t := range tasks {
+		t.mu.Lock()
+		t.halted = true
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+	for _, b := range barriers {
+		b.mu.Lock()
+		b.halted = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+func (s *System) task(tid TID) (*Task, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[tid]
+	if !ok {
+		return nil, fmt.Errorf("pvm: no such task %d", tid)
+	}
+	return t, nil
+}
+
+// Task is one spawned process: a goroutine plus a selective-receive
+// mailbox.
+type Task struct {
+	tid  TID
+	name string
+	sys  *System
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	mbox   []Message
+	halted bool
+}
+
+// TID returns the task's identity.
+func (t *Task) TID() TID { return t.tid }
+
+// Name returns the task's spawn name.
+func (t *Task) Name() string { return t.name }
+
+// Send packs the buffer into a message and enqueues it at dst. Delivery
+// is reliable and per-sender ordered. Sending to a halted system or an
+// unknown task returns an error.
+func (t *Task) Send(dst TID, tag int, buf *Buffer) error {
+	target, err := t.sys.task(dst)
+	if err != nil {
+		return err
+	}
+	wire := make([]byte, len(buf.data))
+	copy(wire, buf.data)
+	m := Message{Src: t.tid, Tag: tag, buf: wire}
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if target.halted {
+		return ErrHalted
+	}
+	target.mbox = append(target.mbox, m)
+	target.cond.Broadcast()
+	return nil
+}
+
+// Mcast sends the buffer to every listed destination (PVM's pvm_mcast).
+func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error {
+	for _, d := range dsts {
+		if d == t.tid {
+			continue
+		}
+		if err := t.Send(d, tag, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message matching src and tag (either may be a
+// wildcard) is available and removes it from the mailbox. Matching
+// respects arrival order among matching messages.
+func (t *Task) Recv(src TID, tag int) (Message, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if i := t.match(src, tag); i >= 0 {
+			m := t.mbox[i]
+			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+			return m, nil
+		}
+		if t.halted {
+			return Message{}, ErrHalted
+		}
+		t.cond.Wait()
+	}
+}
+
+// TryRecv is Recv without blocking; ok reports whether a match existed.
+func (t *Task) TryRecv(src TID, tag int) (Message, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i := t.match(src, tag); i >= 0 {
+		m := t.mbox[i]
+		t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+		return m, true
+	}
+	return Message{}, false
+}
+
+// Probe reports whether a matching message is queued, without consuming
+// it (PVM's pvm_probe).
+func (t *Task) Probe(src TID, tag int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.match(src, tag) >= 0
+}
+
+// Pending returns the number of queued messages.
+func (t *Task) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.mbox)
+}
+
+func (t *Task) match(src TID, tag int) int {
+	for i, m := range t.mbox {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+	halted  bool
+}
+
+// Barrier blocks until count tasks have entered the named barrier
+// (PVM's pvm_barrier). All participants must agree on count.
+func (t *Task) Barrier(name string, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("pvm: barrier %q with count %d", name, count)
+	}
+	s := t.sys
+	s.mu.Lock()
+	if s.halted {
+		s.mu.Unlock()
+		return ErrHalted
+	}
+	b, ok := s.barriers[name]
+	if !ok {
+		b = &barrier{}
+		b.cond = sync.NewCond(&b.mu)
+		s.barriers[name] = b
+	}
+	s.mu.Unlock()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived >= count {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen && !b.halted {
+		b.cond.Wait()
+	}
+	if b.halted && b.gen == gen {
+		return ErrHalted
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package sim is a small deterministic discrete-event simulation core:
+// an event calendar with a virtual clock, plus a FIFO Resource for
+// modeling serialized devices (network injectors, links). Package fabric
+// uses it for the optional packet-level communication mode that
+// validates the HBSP^k g·h abstraction against a finer-grained model.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns the virtual clock and the pending-event calendar. Events
+// scheduled for the same instant fire in scheduling order, which keeps
+// runs deterministic.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after the given delay of virtual time. A negative
+// delay is treated as zero (fire at the current instant, after already
+// scheduled same-instant events).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the calendar is empty and returns the
+// number of events processed.
+func (e *Engine) Run() int {
+	n := 0
+	for e.events.Len() > 0 {
+		e.step()
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events with time ≤ horizon, advances the clock to
+// the horizon, and returns the number of events processed.
+func (e *Engine) RunUntil(horizon float64) int {
+	n := 0
+	for e.events.Len() > 0 && e.events[0].time <= horizon {
+		e.step()
+		n++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	ev.fn()
+}
+
+// Pending returns the number of events still on the calendar.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Resource is a FIFO-serialized device: each Acquire occupies it for a
+// duration, starting no earlier than both the current time and the end
+// of the previous occupation. It models a NIC injecting packets or a
+// half-duplex link draining them.
+type Resource struct {
+	engine    *Engine
+	busyUntil float64
+}
+
+// NewResource returns a resource bound to the engine, free immediately.
+func NewResource(e *Engine) *Resource { return &Resource{engine: e} }
+
+// Acquire occupies the resource for dur starting at
+// max(now, end-of-queue) and schedules done(start, end) at the end
+// instant. It returns the end time.
+func (r *Resource) Acquire(dur float64, done func(start, end float64)) float64 {
+	if dur < 0 {
+		dur = 0
+	}
+	start := r.engine.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + dur
+	r.busyUntil = end
+	if done != nil {
+		r.engine.ScheduleAt(end, func() { done(start, end) })
+	}
+	return end
+}
+
+// AcquireAfter is Acquire but with an earliest-start constraint: the
+// occupation cannot begin before ready (e.g. a packet cannot enter a
+// downstream link before the upstream finished emitting it).
+func (r *Resource) AcquireAfter(ready, dur float64, done func(start, end float64)) float64 {
+	if dur < 0 {
+		dur = 0
+	}
+	start := r.engine.Now()
+	if ready > start {
+		start = ready
+	}
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + dur
+	r.busyUntil = end
+	if done != nil {
+		r.engine.ScheduleAt(end, func() { done(start, end) })
+	}
+	return end
+}
+
+// FreeAt returns the time at which the resource becomes free.
+func (r *Resource) FreeAt() float64 { return r.busyUntil }

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { order = append(order, d) })
+	}
+	if n := e.Run(); n != 5 {
+		t.Fatalf("processed %d events, want 5", n)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-5, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Errorf("fired=%v now=%v, want true/0", fired, e.Now())
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func() {})
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	if n := e.RunUntil(5); n != 5 {
+		t.Errorf("processed %d, want 5", n)
+	}
+	if e.Now() != 5 || count != 5 || e.Pending() != 5 {
+		t.Errorf("now=%v count=%d pending=%d", e.Now(), count, e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("count=%d after Run, want 10", count)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var spans [][2]float64
+	for i := 0; i < 3; i++ {
+		r.Acquire(10, func(s, en float64) { spans = append(spans, [2]float64{s, en}) })
+	}
+	e.Run()
+	want := [][2]float64{{0, 10}, {10, 20}, {20, 30}}
+	for i, w := range want {
+		if spans[i] != w {
+			t.Errorf("span %d = %v, want %v", i, spans[i], w)
+		}
+	}
+}
+
+func TestAcquireAfterHonorsReadiness(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var start, end float64
+	r.AcquireAfter(7, 3, func(s, en float64) { start, end = s, en })
+	e.Run()
+	if start != 7 || end != 10 {
+		t.Errorf("span = [%v,%v], want [7,10]", start, end)
+	}
+	// Queued behind the first: readiness 2 is dominated by busyUntil 10.
+	r.AcquireAfter(2, 1, func(s, en float64) { start, end = s, en })
+	e.Run()
+	if start != 10 || end != 11 {
+		t.Errorf("span = [%v,%v], want [10,11]", start, end)
+	}
+}
+
+func TestResourceZeroAndNegativeDuration(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	if end := r.Acquire(-4, nil); end != 0 {
+		t.Errorf("negative duration end = %v, want 0", end)
+	}
+	if end := r.Acquire(0, nil); end != 0 {
+		t.Errorf("zero duration end = %v, want 0", end)
+	}
+}
+
+// Property: for any set of delays, Run fires all events, in
+// nondecreasing time order, and leaves the clock at the max delay.
+func TestPropertyAllEventsFireInOrder(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		n := int(count%50) + 1
+		maxd := 0.0
+		var fired []float64
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 100
+			if d > maxd {
+				maxd = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if e.Run() != n {
+			return false
+		}
+		return sort.Float64sAreSorted(fired) && e.Now() == maxd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a FIFO resource's total busy time equals the sum of
+// durations, and spans never overlap.
+func TestPropertyResourceNoOverlap(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e)
+		n := int(count%20) + 1
+		total := 0.0
+		var spans [][2]float64
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 10
+			total += d
+			r.Acquire(d, func(s, en float64) { spans = append(spans, [2]float64{s, en}) })
+		}
+		e.Run()
+		if len(spans) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if spans[i][0] < spans[i-1][1]-1e-12 {
+				return false
+			}
+		}
+		return spans[n-1][1] >= total-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

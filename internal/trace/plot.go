@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders labeled (x, y) series as an ASCII scatter chart — enough
+// to eyeball the paper's figures straight from hbspk-bench. Each series
+// gets a distinct glyph; axes are annotated with min/max.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+var plotGlyphs = []rune{'o', '*', '+', 'x', '#', '@', '%', '&'}
+
+// NewPlot returns an empty plot.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends one series; xs and ys must have equal length.
+func (p *Plot) Add(name string, xs, ys []float64) *Plot {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	p.series = append(p.series, plotSeries{name: name, xs: xs[:n], ys: ys[:n]})
+	return p
+}
+
+// Render draws the chart in the given character box (minimums 30×8
+// enforced).
+func (p *Plot) Render(width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.series {
+		for i := range s.xs {
+			xmin, xmax = math.Min(xmin, s.xs[i]), math.Max(xmax, s.xs[i])
+			ymin, ymax = math.Min(ymin, s.ys[i]), math.Max(ymax, s.ys[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	place := func(x, y float64, glyph rune) {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if grid[r][c] != ' ' && grid[r][c] != glyph {
+			grid[r][c] = '?' // overlapping series
+			return
+		}
+		grid[r][c] = glyph
+	}
+	for si, s := range p.series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		idx := make([]int, len(s.xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.xs[idx[a]] < s.xs[idx[b]] })
+		for _, i := range idx {
+			place(s.xs[i], s.ys[i], glyph)
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "%.4g %s\n", ymax, p.YLabel)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(&b, "%.4g %s", ymin, strings.Repeat(" ", width/2))
+	fmt.Fprintf(&b, "[%.4g .. %.4g] %s\n", xmin, xmax, p.XLabel)
+	legend := make([]string, len(p.series))
+	for si, s := range p.series {
+		legend[si] = fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.name)
+	}
+	fmt.Fprintf(&b, "  legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

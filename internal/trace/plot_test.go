@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeriesAndLegend(t *testing.T) {
+	p := NewPlot("Figure 3(a)", "bytes", "T_s/T_f")
+	p.Add("p=2", []float64{1, 2, 3}, []float64{0.9, 0.9, 0.9})
+	p.Add("p=10", []float64{1, 2, 3}, []float64{1.25, 1.3, 1.31})
+	out := p.Render(60, 12)
+	for _, want := range []string{"Figure 3(a)", "o=p=2", "*=p=10", "T_s/T_f", "bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if out := NewPlot("t", "x", "y").Render(40, 8); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// A single point (degenerate ranges) must not divide by zero.
+	out := NewPlot("t", "x", "y").Add("s", []float64{5}, []float64{7}).Render(40, 8)
+	if !strings.Contains(out, "o") {
+		t.Errorf("single point invisible:\n%s", out)
+	}
+}
+
+func TestPlotOverlapMarked(t *testing.T) {
+	p := NewPlot("", "", "")
+	p.Add("a", []float64{1, 2}, []float64{1, 2})
+	p.Add("b", []float64{1, 2}, []float64{1, 2})
+	out := p.Render(40, 8)
+	if !strings.Contains(out, "?") {
+		t.Errorf("overlapping points not marked:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyBox(t *testing.T) {
+	p := NewPlot("", "", "").Add("s", []float64{0, 1}, []float64{0, 1})
+	out := p.Render(1, 1)
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Errorf("box not clamped to minimums:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders the run as an ASCII Gantt chart: one row per scope
+// that executed steps, time flowing left to right, each step drawn as a
+// box whose width is proportional to its duration. Concurrent cluster
+// steps appear on separate rows, making the super^1/super^2 structure of
+// an HBSP^k run visible at a glance.
+//
+//	M_{1,0} SMP   ▕██gather██▏      ▕█bcast█▏
+//	M_{1,2} LAN   ▕████gather████▏  ▕███bcast███▏
+//	M_{2,0} wan                   ▕███up███▏
+func (r *Report) Timeline(width int) string {
+	if len(r.Steps) == 0 {
+		return "(no supersteps)\n"
+	}
+	if width < 40 {
+		width = 40
+	}
+	end := r.Total
+	for _, s := range r.Steps {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if end == 0 {
+		end = 1
+	}
+
+	// Group steps by scope, keep scope order by first appearance sorted
+	// by level then index label for stable output.
+	type row struct {
+		key   string
+		steps []Step
+	}
+	byScope := map[string]*row{}
+	var keys []string
+	for _, s := range r.Steps {
+		key := fmt.Sprintf("%s %s", s.ScopeLabel, s.ScopeName)
+		rw, ok := byScope[key]
+		if !ok {
+			rw = &row{key: key}
+			byScope[key] = rw
+			keys = append(keys, key)
+		}
+		rw.steps = append(rw.steps, s)
+	}
+	sort.Strings(keys)
+
+	label := 0
+	for _, k := range keys {
+		if len(k) > label {
+			label = len(k)
+		}
+	}
+	chart := width - label - 3
+	if chart < 20 {
+		chart = 20
+	}
+	scale := float64(chart) / end
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (total %.4g, 1 col ≈ %.3g)\n", r.Total, end/float64(chart))
+	for _, k := range keys {
+		rw := byScope[k]
+		line := make([]rune, chart)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, s := range rw.steps {
+			lo := int(s.Start * scale)
+			hi := int(s.End * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > chart {
+				hi = chart
+			}
+			name := []rune(s.Label)
+			for i := lo; i < hi && i < chart; i++ {
+				line[i] = '█'
+			}
+			// Overlay the label when the box is wide enough.
+			if hi-lo >= len(name)+2 {
+				mid := lo + (hi-lo-len(name))/2
+				copy(line[mid:], name)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", label, k, string(line))
+	}
+	return b.String()
+}
