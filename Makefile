@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the CI gate: build, go vet,
+# the HBSP^k model lint suite, and the test suite under the race
+# detector. A malformed tree never merges with these green.
+
+GO ?= go
+
+.PHONY: check build vet lint test race fuzz clean
+
+check: build vet lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs hbspk-vet, the model-invariant checkers of internal/analysis
+# (sync discipline, buffer reuse, dropped errors, cost parameters, lock
+# order), over every package including tests.
+lint:
+	$(GO) run ./cmd/hbspk-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz gives each pvm wire-format fuzzer a short budget; CI smoke, not a
+# campaign.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/pvm/ -fuzz FuzzBufferRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pvm/ -fuzz FuzzUnpack -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,130 @@
+// Command hbspk-vet is the HBSP^k multichecker: it applies the
+// internal/analysis suite — syncdiscipline, bufreuse, uncheckedrun,
+// costparams, lockorder — to the packages named on the command line and
+// exits non-zero if any invariant of the programming model is violated.
+//
+// Usage:
+//
+//	hbspk-vet [flags] [packages]
+//
+// Packages are directory patterns relative to the module root
+// ("./...", "./internal/pvm", "./examples/..."); the default is "./...".
+// Run it from anywhere inside the module:
+//
+//	go run ./cmd/hbspk-vet ./...
+//
+// Diagnostics print as file:line:col: message (analyzer). Individual
+// findings can be suppressed with a trailing
+// `//hbspk:ignore <analyzer>` comment after a human audit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hbspk/internal/analysis"
+)
+
+func main() {
+	var (
+		listOnly = flag.Bool("list", false, "list the analyzers and exit")
+		noTests  = flag.Bool("skip-tests", false, "do not analyze _test.go files")
+		only     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fatal(err)
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+	loader.IncludeTests = !*noTests
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		rel, relErr := filepath.Rel(moduleDir, pos.Filename)
+		if relErr != nil {
+			rel = pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hbspk-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("hbspk-vet: unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("hbspk-vet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

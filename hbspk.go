@@ -119,6 +119,12 @@ func RunConcurrent(t *Tree, prog Program) (*Report, error) {
 	return hbsp.NewConcurrent(t).Run(prog)
 }
 
+// ErrDesync is returned (wrapped, with the waiting and lagging
+// processors named) when a program violates superstep discipline:
+// RunConcurrent's watchdog converts the resulting deadlock into this
+// error instead of blocking forever.
+var ErrDesync = hbsp.ErrDesync
+
 // SyncAll synchronizes the whole machine (a super^k-step).
 func SyncAll(c Ctx, label string) error { return hbsp.SyncAll(c, label) }
 

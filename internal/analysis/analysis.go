@@ -1,0 +1,195 @@
+// Package analysis is hbspk's static-analysis toolkit: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus a module-aware package
+// loader built on go/parser and go/types, and the HBSP^k-specific
+// analyzers themselves.
+//
+// The analyzers encode the correctness invariants of the HBSP^k
+// programming model (§5.1's HBSPlib) that the compiler cannot check:
+//
+//   - syncdiscipline: Sync/barrier calls must not sit under
+//     processor-divergent control flow — every processor of a scope must
+//     sync the same number of times, or the concurrent engine deadlocks.
+//   - bufreuse: pvm.Buffers must not be packed into after they were
+//     sent, and message payloads must not be mutated after Send — engines
+//     may share the sender's bytes.
+//   - uncheckedrun: errors from Run/Sync/Send/collective calls must not
+//     be dropped; a swallowed desync error is a silent wrong answer.
+//   - costparams: literal model parameters (g, r, L, c shares) must be
+//     in their valid ranges, and trees must be normalized before running.
+//   - lockorder: no inverted mutex acquisition orders, and no lock may
+//     be taken while holding pvm.System's leaf lock.
+//
+// The suite is exposed on the command line as cmd/hbspk-vet, a
+// multichecker in the style of go vet.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. The zero analyzer is invalid: Name, Doc
+// and Run are all required.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line; it must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's help text; the first line is its summary.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver fills it in.
+	Report func(Diagnostic)
+
+	// noLint maps file base name to the set of lines carrying an
+	// analyzer suppression directive.
+	noLint map[string]map[int]map[string]bool
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted finding at pos unless the line carries an
+// `//hbspk:ignore <name>` (or bare `//hbspk:ignore`) directive.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// suppressed reports whether pos's line carries an ignore directive for
+// this analyzer.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if p.noLint == nil {
+		p.buildNoLint()
+	}
+	position := p.Fset.Position(pos)
+	lines := p.noLint[position.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[position.Line]
+	if names == nil {
+		return false
+	}
+	return names[""] || names[p.Analyzer.Name]
+}
+
+func (p *Pass) buildNoLint() {
+	p.noLint = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				position := p.Fset.Position(c.Pos())
+				lines := p.noLint[position.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					p.noLint[position.Filename] = lines
+				}
+				if lines[position.Line] == nil {
+					lines[position.Line] = make(map[string]bool)
+				}
+				lines[position.Line][name] = true
+			}
+		}
+	}
+}
+
+// parseIgnore recognizes `//hbspk:ignore` and `//hbspk:ignore name ...`.
+func parseIgnore(text string) (name string, ok bool) {
+	const prefix = "//hbspk:ignore"
+	if len(text) < len(prefix) || text[:len(prefix)] != prefix {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if len(rest) > 0 && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //hbspk:ignored is not a directive
+	}
+	for len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t') {
+		rest = rest[1:]
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ' ' || rest[i] == '\t' {
+			rest = rest[:i]
+			break
+		}
+	}
+	return rest, true
+}
+
+// All returns the full hbspk-vet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SyncDiscipline,
+		BufReuse,
+		UncheckedRun,
+		CostParams,
+		LockOrder,
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position. Analyzer runtime errors are returned
+// after the diagnostics collected so far.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var firstErr error
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortDiagnostics(pkgs, diags)
+	return diags, firstErr
+}
+
+func sortDiagnostics(pkgs []*Package, diags []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

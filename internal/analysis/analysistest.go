@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// wantRe matches golden-diagnostic expectations: `// want "regex"` or
+// `// want `+"`regex`"+`, with multiple quoted regexes allowed.
+var wantRe = regexp.MustCompile("// want (\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))*)")
+
+// GoldenResult is the outcome of one golden run, consumable by a
+// *testing.T without this package importing testing.
+type GoldenResult struct {
+	// Problems lists mismatches: unexpected diagnostics and unmatched
+	// expectations, formatted with positions.
+	Problems []string
+	// Diagnostics holds everything the analyzer reported.
+	Diagnostics []Diagnostic
+}
+
+// Golden loads the packages under testdataDir (each pattern is a
+// directory relative to testdataDir/src) in rootless mode, runs the
+// analyzer, and checks every reported diagnostic against the `// want
+// "regex"` comments in the sources — the analysistest contract: each
+// diagnostic must match a want on its line, and every want must be
+// matched by a diagnostic.
+func Golden(a *Analyzer, testdataDir string, patterns ...string) (*GoldenResult, error) {
+	loader, err := NewLoader(filepath.Join(testdataDir, "src"))
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+		line    int
+		file    string
+	}
+	// wants indexed by file:line.
+	wants := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(pkg, f, func(file string, line int, re *regexp.Regexp) {
+				key := file + ":" + strconv.Itoa(line)
+				wants[key] = append(wants[key], &want{re: re, line: line, file: file})
+			})
+		}
+	}
+
+	res := &GoldenResult{Diagnostics: diags}
+	fset := loader.Fset()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%s: unexpected diagnostic: %s", pos, d.Message))
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				res.Problems = append(res.Problems,
+					fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
+			}
+		}
+	}
+	return res, nil
+}
+
+// collectWants scans a file's comments for want expectations.
+func collectWants(pkg *Package, f *ast.File, add func(file string, line int, re *regexp.Regexp)) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, quoted := range splitWantPatterns(m[1] + m[2]) {
+				re, err := regexp.Compile(quoted)
+				if err != nil {
+					continue
+				}
+				add(pos.Filename, pos.Line, re)
+			}
+		}
+	}
+}
+
+// splitWantPatterns unquotes a sequence of "..." / `...` patterns.
+func splitWantPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if un, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, un)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufReuse flags aliasing hazards around sent message data:
+//
+//   - packing into a *pvm.Buffer after it has been handed to
+//     Task.Send/Mcast — the send snapshots the buffer's bytes at call
+//     time, so later Pack calls silently extend a stale frame that will
+//     never travel, and resending ships the old prefix twice;
+//   - mutating a []byte payload after it was queued with Ctx.Send —
+//     engines may deliver the sender's slice itself (hbsp.Message
+//     documents "engines may share the sender's bytes"), so writes,
+//     appends and copies into the slice race with the receiver.
+//
+// The check is per-function and source-ordered: a reuse is reported when
+// it appears after a send of the same variable with no intervening
+// reassignment. Rebinding the variable to a fresh buffer/slice resets
+// the tracking.
+var BufReuse = &Analyzer{
+	Name: "bufreuse",
+	Doc:  "flag pvm.Buffer packing and payload mutation after the data was sent",
+	Run:  runBufReuse,
+}
+
+func runBufReuse(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkBufReuse(pass, body)
+		})
+	}
+	return nil
+}
+
+// sentEvent records where a variable's bytes were last sent.
+type sentEvent struct {
+	pos  token.Pos
+	kind string // "buffer" or "payload"
+}
+
+func checkBufReuse(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	sent := make(map[types.Object]sentEvent)
+
+	// Events in source order: position ordering within one body is the
+	// analyzer's approximation of control flow (documented in Doc).
+	type event struct {
+		pos token.Pos
+		fn  func()
+	}
+	var events []event
+	add := func(pos token.Pos, fn func()) { events = append(events, event{pos, fn}) }
+
+	walkBody(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			// append/copy into a sent payload mutate shared bytes.
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && len(st.Args) > 0 {
+				if bi, okb := info.Uses[id].(*types.Builtin); okb && (bi.Name() == "append" || bi.Name() == "copy") {
+					if obj := payloadObj(info, st.Args[0]); obj != nil {
+						pos := st.Pos()
+						biName := bi.Name()
+						add(pos, func() {
+							if ev, ok := sent[obj]; ok && ev.kind == "payload" {
+								pass.Reportf(pos, "%s into payload %q already queued by Send at line %d: engines may share the sender's bytes", biName, obj.Name(), pass.Fset.Position(ev.pos).Line)
+							}
+						})
+					}
+				}
+			}
+			fn := calleeFunc(info, st)
+			if fn == nil {
+				return true
+			}
+			name := fn.Name()
+			// Sends: Task.Send(dst, tag, *Buffer) / Task.Mcast(dsts, tag,
+			// *Buffer) mark the buffer; Ctx.Send(dst, tag, payload) marks
+			// the payload slice.
+			if rt := receiverType(info, st); rt != nil {
+				switch {
+				case (name == "Send" || name == "Mcast") && len(st.Args) == 3 && typeNameOf(info.TypeOf(st.Args[2])) == "Buffer":
+					if obj := identObj(info, st.Args[2]); obj != nil {
+						pos := st.Pos()
+						add(pos, func() { sent[obj] = sentEvent{pos, "buffer"} })
+					}
+				case name == "Send" && isCtxType(rt) && len(st.Args) == 3:
+					if obj := payloadObj(info, st.Args[2]); obj != nil {
+						pos := st.Pos()
+						add(pos, func() { sent[obj] = sentEvent{pos, "payload"} })
+					}
+				case strings.HasPrefix(name, "Pack") && typeNameOf(rt) == "Buffer":
+					if obj := identObj(info, receiverExpr(st)); obj != nil {
+						pos := st.Pos()
+						add(pos, func() {
+							if ev, ok := sent[obj]; ok && ev.kind == "buffer" {
+								pass.Reportf(pos, "%s into buffer %q already sent at line %d: sends snapshot the buffer, pack into a fresh one", name, obj.Name(), pass.Fset.Position(ev.pos).Line)
+							}
+						})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				// Indexed store payload[i] = x mutates shared bytes.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if obj := payloadObj(info, ix.X); obj != nil {
+						pos := lhs.Pos()
+						add(pos, func() {
+							if ev, ok := sent[obj]; ok {
+								pass.Reportf(pos, "store into %q already sent at line %d: engines may share the sender's bytes", obj.Name(), pass.Fset.Position(ev.pos).Line)
+							}
+						})
+					}
+					continue
+				}
+				// Wholesale rebinding resets tracking, unless the new
+				// value still aliases the old one (append(x, ...)).
+				if obj := identObj(info, lhs); obj != nil {
+					if rhs != nil && exprMentions(info, rhs, obj) {
+						continue
+					}
+					pos := lhs.Pos()
+					add(pos, func() { delete(sent, obj) })
+				}
+			}
+		}
+		return true
+	})
+
+	// Replay in source order.
+	sortEvents := func() {
+		for i := 1; i < len(events); i++ {
+			for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+				events[j], events[j-1] = events[j-1], events[j]
+			}
+		}
+	}
+	sortEvents()
+	for _, ev := range events {
+		ev.fn()
+	}
+}
+
+// payloadObj resolves expressions naming a []byte variable: the bare
+// identifier or a slice of it (payload[a:b] still aliases payload).
+func payloadObj(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	obj := identObj(info, e)
+	if obj == nil {
+		return nil
+	}
+	if sl, ok := obj.Type().Underlying().(*types.Slice); ok && isBasic(sl.Elem(), types.Uint8) {
+		return obj
+	}
+	return nil
+}
+
+// exprMentions reports whether e references obj.
+func exprMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

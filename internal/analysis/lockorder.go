@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockOrder flags two mutex hazards in one package:
+//
+//   - acquiring any other mutex while holding pvm.System's state lock —
+//     System.mu is a leaf lock by contract (every System method releases
+//     it before touching a Task or barrier), and nesting under it
+//     deadlocks against the task/barrier paths that lock in the other
+//     order;
+//   - inverted acquisition orders: function A locks T1.mu then T2.mu
+//     while function B locks T2.mu then T1.mu — the classic ABBA
+//     deadlock.
+//
+// Locks are keyed by the named type owning the mutex field ("System.mu",
+// "crun.mu"). The analysis is intra-function and source-ordered: a
+// deferred Unlock holds to the end of the function, an explicit Unlock
+// releases at its statement.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag mutex acquisition while holding the pvm.System leaf lock, and ABBA order inversions",
+	Run:  runLockOrder,
+}
+
+// lockUse is one Lock call with the set of keys already held there.
+type lockUse struct {
+	key  string
+	pos  token.Pos
+	held []string
+	fn   string
+}
+
+func runLockOrder(pass *Pass) error {
+	var uses []lockUse
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			uses = append(uses, collectLockUses(pass, name, body)...)
+		})
+	}
+
+	// Leaf-lock rule: nothing may be acquired under System.mu.
+	for _, u := range uses {
+		for _, h := range u.held {
+			if isSystemLock(h) && !isSystemLock(u.key) {
+				pass.Reportf(u.pos, "acquiring %s while holding %s: pvm.System's lock is a leaf lock, release it first", u.key, h)
+			}
+		}
+	}
+
+	// ABBA rule: the same ordered pair in both directions anywhere in
+	// the package.
+	type pair struct{ first, second string }
+	firstPos := make(map[pair]token.Pos)
+	for _, u := range uses {
+		for _, h := range u.held {
+			if h == u.key {
+				continue
+			}
+			p := pair{h, u.key}
+			if _, ok := firstPos[p]; !ok {
+				firstPos[p] = u.pos
+			}
+		}
+	}
+	for p, pos := range firstPos {
+		inv := pair{p.second, p.first}
+		if _, ok := firstPos[inv]; ok {
+			pass.Reportf(pos, "lock order inversion: %s is acquired while holding %s here, and %s while holding %s elsewhere in the package", p.second, p.first, p.first, p.second)
+		}
+	}
+	return nil
+}
+
+// collectLockUses walks one body in source order maintaining the held
+// set.
+func collectLockUses(pass *Pass, fnName string, body *ast.BlockStmt) []lockUse {
+	type lockEvent struct {
+		pos     token.Pos
+		key     string
+		lock    bool // false = unlock
+		forever bool // deferred unlock: never releases within the body
+	}
+	var events []lockEvent
+	walkBody(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if key, isLock, ok := mutexCall(pass, st.Call); ok && !isLock {
+				events = append(events, lockEvent{pos: st.Pos(), key: key, lock: false, forever: true})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, isLock, ok := mutexCall(pass, st); ok {
+				events = append(events, lockEvent{pos: st.Pos(), key: key, lock: isLock})
+			}
+		}
+		return true
+	})
+	// Source order approximates execution order intra-function.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	var held []string
+	var uses []lockUse
+	for _, ev := range events {
+		if ev.lock {
+			uses = append(uses, lockUse{key: ev.key, pos: ev.pos, held: append([]string(nil), held...), fn: fnName})
+			held = append(held, ev.key)
+		} else if !ev.forever {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.key {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// mutexCall recognizes x.mu.Lock()/Unlock() (and RLock/RUnlock) where mu
+// is a sync.Mutex/RWMutex-shaped field of a named struct, returning the
+// lock key "Type.field".
+func mutexCall(pass *Pass, call *ast.CallExpr) (key string, isLock, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	var lock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return "", false, false
+	}
+	mt := pass.TypesInfo.TypeOf(sel.X)
+	if mt == nil {
+		return "", false, false
+	}
+	name := typeNameOf(mt)
+	if name != "Mutex" && name != "RWMutex" {
+		return "", false, false
+	}
+	// The mutex expression: a field selection owner.field.
+	fieldSel, okField := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !okField {
+		// A bare local mutex cannot participate in cross-type ordering.
+		return "", false, false
+	}
+	ownerType := pass.TypesInfo.TypeOf(fieldSel.X)
+	owner := typeNameOf(ownerType)
+	if owner == "" {
+		return "", false, false
+	}
+	return owner + "." + fieldSel.Sel.Name, lock, true
+}
+
+// isSystemLock matches the pvm.System state lock.
+func isSystemLock(key string) bool { return key == "System.mu" }

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncDiscipline flags Sync/barrier calls nested under
+// processor-divergent control flow inside SPMD program functions.
+//
+// The HBSP^k model requires every processor of a scope to sync on it
+// the same number of times (§5.1). A Sync guarded by `if c.Pid() == root`
+// — or a loop whose bounds depend on the processor's identity — executes
+// a different number of times on different processors, which deadlocks
+// the concurrent engine and desyncs the virtual one. The analyzer
+// tracks processor-identity taint (Pid, Rank, Coordinator enquiries and
+// locals derived from them) through each function body and reports any
+// synchronizing call lexically inside control flow whose condition is
+// tainted. Deliberately divergent code (there is almost never a reason)
+// can be suppressed with `//hbspk:ignore syncdiscipline`.
+var SyncDiscipline = &Analyzer{
+	Name: "syncdiscipline",
+	Doc:  "flag Sync/barrier calls under processor-divergent conditionals or loops",
+	Run:  runSyncDiscipline,
+}
+
+// divergentFuncNames are package-level enquiry helpers whose results
+// differ per processor when handed a Ctx.
+var divergentFuncNames = map[string]bool{
+	"Rank": true, "Coordinator": true, "Speed": true, "Share": true,
+}
+
+func runSyncDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkSyncDiscipline(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkSyncDiscipline(pass *Pass, body *ast.BlockStmt) {
+	tainted := collectPidTaint(pass, body)
+	div := divergence{pass: pass, tainted: tainted}
+	div.stmt(body, nil)
+}
+
+// collectPidTaint returns the set of local variables derived from
+// processor identity, via a forward pass over the body in source order
+// (assignments in Go programs flow forward; a fixpoint is not needed for
+// the straight-line derivations this analyzer targets).
+func collectPidTaint(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	isDivergent := func(e ast.Expr) bool {
+		return exprDivergent(pass, e, tainted)
+	}
+	walkBody(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				if rhs == nil || !isDivergent(rhs) {
+					continue
+				}
+				if obj := identObj(pass.TypesInfo, lhs); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				var rhs ast.Expr
+				if len(st.Values) == len(st.Names) {
+					rhs = st.Values[i]
+				} else if len(st.Values) == 1 {
+					rhs = st.Values[0]
+				}
+				if rhs == nil || !isDivergent(rhs) {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// exprDivergent reports whether e's value depends on the processor's
+// identity: it mentions a Pid/Self enquiry on a Ctx, a divergent helper
+// call, Moves() (delivered messages differ per processor), or a tainted
+// local.
+func exprDivergent(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := identObj(pass.TypesInfo, x); obj != nil && tainted[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, x)
+			if fn == nil {
+				return true
+			}
+			if rt := receiverType(pass.TypesInfo, x); rt != nil && isCtxType(rt) {
+				switch fn.Name() {
+				case "Pid", "Self", "Moves":
+					found = true
+				}
+				return true
+			}
+			if divergentFuncNames[fn.Name()] && len(x.Args) > 0 && isCtxType(pass.TypesInfo.TypeOf(x.Args[0])) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// divergence walks statements tracking the innermost divergent control
+// construct; sync calls encountered under one are reported.
+type divergence struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+}
+
+// stmt walks s; under is the position of the controlling divergent
+// condition, or nil outside divergent control flow.
+func (d *divergence) stmt(n ast.Node, under *token.Pos) {
+	switch st := n.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			d.stmt(s, under)
+		}
+	case *ast.IfStmt:
+		d.stmt(st.Init, under)
+		d.expr(st.Cond, under)
+		branchUnder := under
+		if d.divergent(st.Cond) {
+			pos := st.Cond.Pos()
+			branchUnder = &pos
+		}
+		d.stmt(st.Body, branchUnder)
+		d.stmt(st.Else, branchUnder)
+	case *ast.ForStmt:
+		d.stmt(st.Init, under)
+		bodyUnder := under
+		if st.Cond != nil && d.divergent(st.Cond) {
+			pos := st.Cond.Pos()
+			bodyUnder = &pos
+		}
+		d.expr(st.Cond, under)
+		d.stmt(st.Post, bodyUnder)
+		d.stmt(st.Body, bodyUnder)
+	case *ast.RangeStmt:
+		bodyUnder := under
+		if st.X != nil && d.divergent(st.X) {
+			pos := st.X.Pos()
+			bodyUnder = &pos
+		}
+		d.expr(st.X, under)
+		d.stmt(st.Body, bodyUnder)
+	case *ast.SwitchStmt:
+		d.stmt(st.Init, under)
+		d.expr(st.Tag, under)
+		tagDiv := st.Tag != nil && d.divergent(st.Tag)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseUnder := under
+			caseDiv := tagDiv
+			for _, e := range cc.List {
+				d.expr(e, under)
+				if d.divergent(e) {
+					caseDiv = true
+				}
+			}
+			if caseDiv {
+				pos := cc.Pos()
+				caseUnder = &pos
+			}
+			for _, s := range cc.Body {
+				d.stmt(s, caseUnder)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		d.stmt(st.Init, under)
+		d.stmt(st.Assign, under)
+		d.stmt(st.Body, under)
+	case *ast.SelectStmt:
+		d.stmt(st.Body, under)
+	case *ast.CaseClause:
+		for _, s := range st.Body {
+			d.stmt(s, under)
+		}
+	case *ast.CommClause:
+		d.stmt(st.Comm, under)
+		for _, s := range st.Body {
+			d.stmt(s, under)
+		}
+	case *ast.LabeledStmt:
+		d.stmt(st.Stmt, under)
+	case *ast.ExprStmt:
+		d.expr(st.X, under)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			d.expr(e, under)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			d.expr(e, under)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						d.expr(v, under)
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		d.expr(st.Call, under)
+	case *ast.DeferStmt:
+		d.expr(st.Call, under)
+	case *ast.SendStmt:
+		d.expr(st.Value, under)
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.BadStmt:
+		// No sync calls possible.
+	}
+}
+
+// expr scans an expression for sync calls, reporting any found under a
+// divergent condition. Nested function literals are separate units.
+func (d *divergence) expr(e ast.Expr, under *token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if under != nil && isSyncCall(d.pass.TypesInfo, call) {
+			cond := d.pass.Fset.Position(*under)
+			d.pass.Reportf(call.Pos(),
+				"synchronizing call under processor-divergent control flow (condition at line %d): every processor of the scope must sync the same number of times", cond.Line)
+		}
+		return true
+	})
+}
+
+func (d *divergence) divergent(e ast.Expr) bool {
+	return exprDivergent(d.pass, e, d.tainted)
+}

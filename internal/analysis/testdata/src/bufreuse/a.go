@@ -1,0 +1,127 @@
+// Package bufreuse is the golden fixture for the bufreuse analyzer:
+// stub pvm Buffer/Task types and an HBSPlib Ctx, with seeded
+// send-then-mutate hazards.
+package bufreuse
+
+type TID int
+
+type Buffer struct{ data []byte }
+
+func NewBuffer() *Buffer { return &Buffer{} }
+
+func (b *Buffer) PackInt32(vs ...int32) *Buffer { return b }
+func (b *Buffer) PackBytes(p []byte) *Buffer    { return b }
+
+type Task struct{}
+
+func (t *Task) Send(dst TID, tag int, buf *Buffer) error         { return nil }
+func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error     { return nil }
+func (t *Task) Barrier(name string, count int) error             { return nil }
+func (t *Task) Recv(src TID, tag int) (struct{ Src TID }, error) { return struct{ Src TID }{}, nil }
+
+type Machine struct{}
+
+type Ctx interface {
+	Pid() int
+	Send(dst, tag int, payload []byte) error
+	Sync(scope *Machine, label string) error
+}
+
+// --- violations ---
+
+func packAfterSend(t *Task) error {
+	buf := NewBuffer()
+	buf.PackInt32(1)
+	if err := t.Send(1, 7, buf); err != nil {
+		return err
+	}
+	buf.PackInt32(2) // want `PackInt32 into buffer "buf" already sent`
+	return t.Send(2, 7, buf)
+}
+
+func packAfterMcast(t *Task) error {
+	buf := NewBuffer().PackBytes([]byte("hello"))
+	if err := t.Mcast([]TID{1, 2}, 3, buf); err != nil {
+		return err
+	}
+	buf.PackBytes([]byte("tail")) // want `PackBytes into buffer "buf" already sent`
+	return nil
+}
+
+func mutatePayloadAfterSend(c Ctx, scope *Machine) error {
+	payload := []byte("abc")
+	if err := c.Send(1, 0, payload); err != nil {
+		return err
+	}
+	payload[0] = 'z' // want `store into "payload" already sent`
+	return c.Sync(scope, "step")
+}
+
+func appendPayloadAfterSend(c Ctx) error {
+	payload := make([]byte, 0, 16)
+	payload = append(payload, 1, 2, 3)
+	if err := c.Send(1, 0, payload); err != nil {
+		return err
+	}
+	payload = append(payload, 4) // want `append into payload "payload" already queued by Send`
+	return nil
+}
+
+func copyIntoSentPayload(c Ctx, fresh []byte) error {
+	payload := make([]byte, 8)
+	if err := c.Send(1, 0, payload); err != nil {
+		return err
+	}
+	copy(payload, fresh) // want `copy into payload "payload" already queued by Send`
+	return nil
+}
+
+func sliceOfSentPayload(c Ctx) error {
+	payload := make([]byte, 8)
+	if err := c.Send(1, 0, payload[:4]); err != nil {
+		return err
+	}
+	payload[5] = 1 // want `store into "payload" already sent`
+	return nil
+}
+
+// --- safe patterns ---
+
+func freshBufferPerMessage(t *Task) error {
+	for dst := TID(0); dst < 4; dst++ {
+		buf := NewBuffer()
+		buf.PackInt32(int32(dst))
+		if err := t.Send(dst, 7, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rebindResets(t *Task) error {
+	buf := NewBuffer().PackInt32(1)
+	if err := t.Send(1, 7, buf); err != nil {
+		return err
+	}
+	buf = NewBuffer()
+	buf.PackInt32(2)
+	return t.Send(2, 7, buf)
+}
+
+func resendWithoutPacking(t *Task) error {
+	buf := NewBuffer().PackInt32(1)
+	if err := t.Send(1, 7, buf); err != nil {
+		return err
+	}
+	return t.Send(2, 7, buf)
+}
+
+func freshPayloadAfterSend(c Ctx) error {
+	payload := []byte("abc")
+	if err := c.Send(1, 0, payload); err != nil {
+		return err
+	}
+	payload = []byte("new backing array")
+	payload[0] = 'z'
+	return nil
+}

@@ -1,0 +1,88 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// a stub pvm.System leaf lock and an ABBA inversion pair.
+package lockorder
+
+import "sync"
+
+type System struct {
+	mu    sync.Mutex
+	tasks map[int]*Task
+}
+
+type Task struct {
+	mu   sync.Mutex
+	mbox []int
+}
+
+type crun struct {
+	mu    sync.Mutex
+	steps []int
+}
+
+// --- violations ---
+
+func lockTaskUnderSystem(s *System, t *Task) {
+	s.mu.Lock()
+	t.mu.Lock() // want `acquiring Task.mu while holding System.mu`
+	t.mbox = append(t.mbox, 1)
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func lockRunStateUnderSystem(s *System, r *crun) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock() // want `acquiring crun.mu while holding System.mu`
+	r.steps = append(r.steps, 1)
+	r.mu.Unlock()
+}
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order inversion`
+	b.mu.Unlock()
+}
+
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order inversion`
+	a.mu.Unlock()
+}
+
+// --- safe patterns ---
+
+func handoff(s *System, t *Task) {
+	// The real pvm idiom: snapshot under the System lock, release, then
+	// touch the task.
+	s.mu.Lock()
+	task := s.tasks[0]
+	s.mu.Unlock()
+	task.mu.Lock()
+	task.mbox = nil
+	task.mu.Unlock()
+	_ = t
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func consistentOrder1(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func consistentOrder2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}

@@ -1,0 +1,135 @@
+// Package syncdiscipline is the golden fixture for the syncdiscipline
+// analyzer: a self-contained replica of the HBSPlib Ctx surface with
+// seeded violations. The analyzer keys on method sets, not import
+// paths, so the stubs exercise exactly the production detection logic.
+package syncdiscipline
+
+type Machine struct{}
+
+func (m *Machine) Coordinator() *Machine { return m }
+
+type Tree struct{ Root *Machine }
+
+func (t *Tree) Pid(m *Machine) int { return 0 }
+
+type Message struct {
+	Src, Tag int
+	Payload  []byte
+}
+
+type Ctx interface {
+	Pid() int
+	NProcs() int
+	Tree() *Tree
+	Self() *Machine
+	Moves() []Message
+	Send(dst, tag int, payload []byte) error
+	Sync(scope *Machine, label string) error
+}
+
+func SyncAll(c Ctx, label string) error { return c.Sync(nil, label) }
+
+func Rank(c Ctx) int { return c.Pid() }
+
+// --- violations ---
+
+func syncUnderPidIf(c Ctx, scope *Machine, root int) error {
+	if c.Pid() == root {
+		return c.Sync(scope, "root only") // want `synchronizing call under processor-divergent control flow`
+	}
+	return nil
+}
+
+func syncUnderTaintedLocal(c Ctx, scope *Machine) error {
+	me := c.Pid()
+	amRoot := me == 0
+	if amRoot {
+		if err := c.Sync(scope, "tainted"); err != nil { // want `synchronizing call under processor-divergent control flow`
+			return err
+		}
+	}
+	return nil
+}
+
+func syncInPidBoundedLoop(c Ctx, scope *Machine) error {
+	for i := 0; i < c.Pid(); i++ {
+		if err := c.Sync(scope, "loop"); err != nil { // want `synchronizing call under processor-divergent control flow`
+			return err
+		}
+	}
+	return nil
+}
+
+func syncAllUnderRank(c Ctx) error {
+	if Rank(c) == 0 {
+		return SyncAll(c, "fastest only") // want `synchronizing call under processor-divergent control flow`
+	}
+	return nil
+}
+
+func syncUnderDivergentSwitch(c Ctx, scope *Machine, root int) error {
+	switch {
+	case c.Pid() != root:
+		return c.Sync(scope, "non-root") // want `synchronizing call under processor-divergent control flow`
+	}
+	return nil
+}
+
+func syncPerMessage(c Ctx, scope *Machine) error {
+	for range c.Moves() {
+		if err := c.Sync(scope, "per message"); err != nil { // want `synchronizing call under processor-divergent control flow`
+			return err
+		}
+	}
+	return nil
+}
+
+func syncUnderElse(c Ctx, scope *Machine) error {
+	if c.Pid() == 0 {
+		return nil
+	} else {
+		return c.Sync(scope, "else branch") // want `synchronizing call under processor-divergent control flow`
+	}
+}
+
+// --- well-formed programs ---
+
+func sendUnderPidThenSync(c Ctx, scope *Machine, root int) error {
+	if c.Pid() != root {
+		if err := c.Send(root, 1, []byte("x")); err != nil {
+			return err
+		}
+	}
+	return c.Sync(scope, "gather")
+}
+
+func uniformLoop(c Ctx, scope *Machine, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := c.Sync(scope, "round"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func errCheckIdiom(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "top level"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func treePidIsNotDivergent(c Ctx, scope *Machine) error {
+	rootPid := c.Tree().Pid(scope.Coordinator())
+	if rootPid == 0 {
+		return c.Sync(scope, "tree lookup is processor-independent")
+	}
+	return nil
+}
+
+func suppressed(c Ctx, scope *Machine) error {
+	if c.Pid() == 0 {
+		return c.Sync(scope, "audited") //hbspk:ignore syncdiscipline
+	}
+	return nil
+}

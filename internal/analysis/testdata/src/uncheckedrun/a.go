@@ -1,0 +1,113 @@
+// Package uncheckedrun is the golden fixture for the uncheckedrun
+// analyzer: stub engines, Ctx, pvm types and collectives with seeded
+// dropped errors.
+package uncheckedrun
+
+import "fmt"
+
+type Machine struct{}
+
+type Tree struct{ Root *Machine }
+
+type Report struct{}
+
+type Ctx interface {
+	Pid() int
+	Send(dst, tag int, payload []byte) error
+	Sync(scope *Machine, label string) error
+}
+
+type Program func(Ctx) error
+
+type Virtual struct{}
+
+func (v *Virtual) Run(prog Program) (*Report, error) { return nil, nil }
+
+func RunVirtual(t *Tree, prog Program) (*Report, error) { return nil, nil }
+
+func SyncAll(c Ctx, label string) error { return c.Sync(nil, label) }
+
+func Gather(c Ctx, scope *Machine, root int, local []byte) (map[int][]byte, error) {
+	return nil, nil
+}
+
+type TID int
+
+type Buffer struct{}
+
+type Task struct{}
+
+func (t *Task) Send(dst TID, tag int, buf *Buffer) error     { return nil }
+func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error { return nil }
+func (t *Task) Barrier(name string, count int) error         { return nil }
+
+type System struct{}
+
+func (s *System) Wait() error { return nil }
+
+// --- violations ---
+
+func dropSync(c Ctx, scope *Machine) {
+	c.Sync(scope, "step") // want `error result of Sync is dropped`
+}
+
+func dropSend(c Ctx) {
+	c.Send(1, 0, nil) // want `error result of Send is dropped`
+}
+
+func dropSyncAll(c Ctx) {
+	SyncAll(c, "global") // want `error result of SyncAll is dropped`
+}
+
+func dropEngineRun(v *Virtual, prog Program) {
+	v.Run(prog) // want `error result of Run is dropped`
+}
+
+func dropFacadeRun(t *Tree, prog Program) {
+	RunVirtual(t, prog) // want `error result of RunVirtual is dropped`
+}
+
+func dropCollective(c Ctx, scope *Machine) {
+	Gather(c, scope, 0, nil) // want `error result of Gather is dropped`
+}
+
+func dropBarrier(t *Task) {
+	t.Barrier("b", 4) // want `error result of Barrier is dropped`
+}
+
+func dropWait(s *System) {
+	s.Wait() // want `error result of Wait is dropped`
+}
+
+func dropInGoroutine(c Ctx, scope *Machine) {
+	go c.Sync(scope, "racing") // want `error result of Sync is dropped`
+}
+
+// --- checked uses ---
+
+func checkedSync(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "step"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkedRun(v *Virtual, prog Program) error {
+	_, err := v.Run(prog)
+	return err
+}
+
+func deliberateDiscard(c Ctx, scope *Machine) {
+	// An explicit blank assignment is a visible decision, not a drop.
+	_ = c.Sync(scope, "fire and forget")
+}
+
+func unrelatedCallsAreFine() {
+	fmt.Println("logging is not part of the model surface")
+}
+
+func unrelatedRunIsFine() {
+	run() // a local helper named run is not the facade
+}
+
+func run() error { return nil }

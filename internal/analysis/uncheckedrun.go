@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedRun flags dropped errors from the HBSP^k run-time surface:
+// engine Run/Wait, Ctx Sync/Send, SyncAll, pvm Send/Mcast/Barrier/
+// Spawn-collection via Wait, and every collective. A swallowed error
+// from any of these turns a detected desync or delivery failure into a
+// silently wrong answer, so unlike a general errcheck this one is
+// always-on for the model's own calls. Only outright drops are flagged
+// (the call as a bare statement, go, or defer); an explicit `_ =` is
+// treated as a deliberate, visible discard.
+var UncheckedRun = &Analyzer{
+	Name: "uncheckedrun",
+	Doc:  "flag dropped errors from Run/Sync/Send/collective calls",
+	Run:  runUncheckedRun,
+}
+
+// uncheckedNames are callee names whose error results must be consumed
+// when the callee belongs to the model's surface (method on a Ctx/Task/
+// System/engine, or function with a Ctx argument).
+var uncheckedNames = map[string]bool{
+	"Sync": true, "SyncAll": true, "Send": true, "Mcast": true,
+	"Barrier": true, "Run": true, "RunConcurrent": true, "RunVirtual": true,
+	"Wait": true,
+}
+
+func runUncheckedRun(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			walkBody(body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = st.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = st.Call
+				case *ast.DeferStmt:
+					call = st.Call
+				}
+				if call == nil || !isUncheckedTarget(pass, call) {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				pass.Reportf(call.Pos(), "error result of %s is dropped: a desync or delivery failure would be silently ignored", fn.Name())
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isUncheckedTarget reports whether the call is an error-returning call
+// of the model's surface.
+func isUncheckedTarget(pass *Pass, call *ast.CallExpr) bool {
+	if !returnsError(pass.TypesInfo, call) {
+		return false
+	}
+	info := pass.TypesInfo
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if rt := receiverType(info, call); rt != nil {
+		if !uncheckedNames[name] {
+			return false
+		}
+		switch {
+		case isCtxType(rt):
+			return name == "Sync" || name == "Send"
+		case typeNameOf(rt) == "Task":
+			return name == "Send" || name == "Mcast" || name == "Barrier"
+		case typeNameOf(rt) == "System":
+			return name == "Wait"
+		case typeNameOf(rt) == "Virtual" || typeNameOf(rt) == "Concurrent":
+			return name == "Run"
+		}
+		return false
+	}
+	switch name {
+	case "SyncAll":
+		return len(call.Args) > 0 && isCtxType(info.TypeOf(call.Args[0]))
+	case "Run", "RunVirtual", "RunConcurrent":
+		// The facade runners: recognized by their (*Report, error) shape
+		// so that unrelated functions named Run stay out of scope.
+		sig := fn.Type().(*types.Signature)
+		return sig.Results().Len() == 2 && typeNameOf(sig.Results().At(0).Type()) == "Report"
+	}
+	return collectiveNames[name] && len(call.Args) > 0 && isCtxType(info.TypeOf(call.Args[0]))
+}

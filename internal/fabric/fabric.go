@@ -24,6 +24,7 @@ package fabric
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"hbspk/internal/cost"
 	"hbspk/internal/model"
@@ -87,11 +88,19 @@ func PVMNoisy(noise float64, seed int64) Config {
 	return c
 }
 
-// Fabric charges superstep costs for one machine tree.
+// Fabric charges superstep costs for one machine tree. StepCost is safe
+// for concurrent use; the noise stream is guarded by rngMu, so
+// single-goroutine runs with equal seeds stay bit-identical while
+// concurrent callers get racy ordering but no data race (their draw
+// order is inherently nondeterministic anyway).
 type Fabric struct {
 	tree *model.Tree
 	cfg  Config
-	rng  *rand.Rand
+
+	// rngMu guards rng: math/rand.Rand is not goroutine-safe, and one
+	// Fabric may be shared by concurrently charged steps.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // New returns a fabric for the tree with the given configuration.
@@ -232,7 +241,10 @@ func (f *Fabric) StepCost(scope *model.Machine, label string, flows []cost.Flow,
 
 	res.Time = res.W + res.Comm + res.Sync
 	if f.cfg.Noise > 0 {
-		res.Time *= 1 + f.cfg.Noise*f.rng.Float64()
+		f.rngMu.Lock()
+		draw := f.rng.Float64()
+		f.rngMu.Unlock()
+		res.Time *= 1 + f.cfg.Noise*draw
 	}
 	return res
 }

@@ -233,3 +233,34 @@ func TestPropertyPacketSpanLowerBound(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestConcurrentStepCostNoise shares one noisy fabric across goroutines:
+// the guarded rng draw must survive -race, and every drawn factor stays
+// inside [1, 1+Noise).
+func TestConcurrentStepCostNoise(t *testing.T) {
+	tr := pair(2, 1)
+	f := New(tr, PVMNoisy(0.5, 42))
+	flows := []cost.Flow{{Src: 1, Dst: 0, Bytes: 64}}
+	base := New(tr, PVM()).StepCost(tr.Root, "s", flows, map[int]float64{0: 3}).Time
+
+	const workers, rounds = 8, 200
+	results := make(chan float64, workers*rounds)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < rounds; i++ {
+				results <- f.StepCost(tr.Root, "s", flows, map[int]float64{0: 3}).Time
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	close(results)
+	for got := range results {
+		if got < base || got >= base*1.5 {
+			t.Fatalf("noisy time %v outside [%v, %v)", got, base, base*1.5)
+		}
+	}
+}

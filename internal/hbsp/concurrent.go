@@ -3,6 +3,7 @@ package hbsp
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,14 +22,30 @@ import (
 // machine-dependent and noisy; it exists to validate that programs are
 // correct concurrent code and deliver exactly the same data as the
 // virtual engine. Programs must be well-formed SPMD (every processor of
-// a scope syncs on it the same number of times); unlike the virtual
-// engine, a malformed program blocks rather than returning ErrDesync.
+// a scope syncs on it the same number of times); a malformed program is
+// converted from a silent deadlock into ErrDesync by an always-on
+// watchdog: every Sync registers a per-scope sync-generation waiter,
+// and when a waited scope can provably never complete — a member
+// already exited, or every live processor has been parked at a barrier
+// for DesyncTimeout with no barrier completing — the run is halted with
+// a report naming the waiting and lagging processors.
 type Concurrent struct {
 	tree *model.Tree
 	// TimeUnit is the wall-clock duration of one fastest-machine work
 	// unit for Charge; zero disables dilation.
 	TimeUnit time.Duration
+	// DesyncTimeout is how long every live processor must sit blocked at
+	// barriers, with none completing, before the watchdog declares a
+	// desync. Zero means the 2s default; negative disables the watchdog
+	// entirely (the exited-member check included).
+	DesyncTimeout time.Duration
 }
+
+// defaultDesyncTimeout balances catching real deadlocks quickly against
+// never firing on a healthy but heavily dilated run: the stall clock
+// only advances while every live processor is inside a barrier wait, so
+// long Charge phases cannot trip it.
+const defaultDesyncTimeout = 2 * time.Second
 
 // NewConcurrent returns a wall-clock engine for the tree.
 func NewConcurrent(t *model.Tree) *Concurrent { return &Concurrent{tree: t} }
@@ -57,6 +74,183 @@ type crun struct {
 	steps   []trace.Step
 	scopeID map[*model.Machine]int
 	started time.Time
+
+	// Desync watchdog state, all under mu: waiting maps pid to its
+	// current barrier wait, exited records returned processors, progress
+	// counts barrier completions and exits (any increment proves the run
+	// is still advancing), desync latches the watchdog's verdict.
+	nprocs   int
+	waiting  map[int]*syncWait
+	exited   map[int]bool
+	progress uint64
+	desync   error
+	// arrived[pid][scope] is the highest sync generation pid has reached
+	// on that scope. An exited member is only lagging for a waiter if it
+	// never arrived at the waiter's generation; without this, a member
+	// exiting right after the final barrier would race a still-parked
+	// waiter into a false desync.
+	arrived map[int]map[string]int
+}
+
+// syncWait describes one processor parked in Sync: the scope's label,
+// this processor's sync generation for it, and the member pids that
+// must arrive for the barrier to complete.
+type syncWait struct {
+	scope   string
+	label   string
+	gen     int
+	members []int
+}
+
+// enterSync registers a barrier wait; leaveSync removes it and counts
+// the completion as progress.
+func (s *crun) enterSync(pid int, w *syncWait) {
+	s.mu.Lock()
+	s.waiting[pid] = w
+	m := s.arrived[pid]
+	if m == nil {
+		m = make(map[string]int)
+		s.arrived[pid] = m
+	}
+	m[w.scope] = w.gen
+	s.mu.Unlock()
+}
+
+func (s *crun) leaveSync(pid int) {
+	s.mu.Lock()
+	delete(s.waiting, pid)
+	s.progress++
+	s.mu.Unlock()
+}
+
+func (s *crun) markExited(pid int) {
+	s.mu.Lock()
+	s.exited[pid] = true
+	s.progress++
+	s.mu.Unlock()
+}
+
+func (s *crun) desyncErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.desync
+}
+
+// watch polls the waiter registry until done closes. It declares a
+// desync when a waited barrier can provably never complete:
+//
+//   - a member of a waited scope has already exited (deterministic, no
+//     timeout involved), or
+//   - every live processor has been parked at some barrier across a
+//     full timeout window with no barrier completing in between —
+//     barriers only complete through arrivals, and with nobody left to
+//     arrive the run cannot advance.
+//
+// On a verdict it latches the structured error and halts the system,
+// waking every parked barrier with ErrHalted.
+func (s *crun) watch(sys *pvm.System, timeout time.Duration, done <-chan struct{}) {
+	tick := timeout / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	var (
+		stallSince    time.Time
+		stallProgress uint64
+		stalled       bool
+	)
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-ticker.C:
+			s.mu.Lock()
+			if s.desync != nil {
+				s.mu.Unlock()
+				return
+			}
+			if err := s.exitedMemberDesync(); err != nil {
+				s.desync = err
+				s.mu.Unlock()
+				sys.Halt()
+				return
+			}
+			allParked := len(s.waiting) > 0 && len(s.waiting)+len(s.exited) == s.nprocs
+			if !allParked || !stalled || s.progress != stallProgress {
+				stalled = allParked
+				stallProgress = s.progress
+				stallSince = now
+				s.mu.Unlock()
+				continue
+			}
+			if now.Sub(stallSince) < timeout {
+				s.mu.Unlock()
+				continue
+			}
+			s.desync = s.stallDesync()
+			s.mu.Unlock()
+			sys.Halt()
+			return
+		}
+	}
+}
+
+// exitedMemberDesync reports a waited scope with an exited member, a
+// barrier that can never complete. Caller holds mu.
+func (s *crun) exitedMemberDesync() error {
+	for pid, w := range s.waiting {
+		for _, m := range w.members {
+			reached, ok := s.arrived[m][w.scope]
+			if s.exited[m] && (!ok || reached < w.gen) {
+				return fmt.Errorf("%w: p%d waits on %s#%d(%s) but member p%d already exited",
+					ErrDesync, pid, w.scope, w.gen, w.label, m)
+			}
+		}
+	}
+	return nil
+}
+
+// stallDesync builds the stalled-barriers report: who waits where, and
+// which scope members lag. Caller holds mu.
+func (s *crun) stallDesync() error {
+	var waitParts, lagParts []string
+	lagging := map[int]bool{}
+	for pid := 0; pid < s.nprocs; pid++ {
+		w, ok := s.waiting[pid]
+		if !ok {
+			continue
+		}
+		waitParts = append(waitParts, fmt.Sprintf("p%d@%s#%d(%s)", pid, w.scope, w.gen, w.label))
+		for _, m := range w.members {
+			mw := s.waiting[m]
+			if mw == nil || mw.scope != w.scope || mw.gen != w.gen {
+				lagging[m] = true
+			}
+		}
+	}
+	for pid := 0; pid < s.nprocs; pid++ {
+		if !lagging[pid] {
+			continue
+		}
+		switch {
+		case s.exited[pid]:
+			lagParts = append(lagParts, fmt.Sprintf("p%d:exited", pid))
+		case s.waiting[pid] != nil:
+			w := s.waiting[pid]
+			lagParts = append(lagParts, fmt.Sprintf("p%d:at %s#%d(%s)", pid, w.scope, w.gen, w.label))
+		default:
+			lagParts = append(lagParts, fmt.Sprintf("p%d:not at a barrier", pid))
+		}
+	}
+	msg := "waiting: " + strings.Join(waitParts, " ")
+	if len(lagParts) > 0 {
+		msg += "; lagging: " + strings.Join(lagParts, " ")
+	}
+	return fmt.Errorf("%w: %s", ErrDesync, msg)
 }
 
 func (c *cctx) Pid() int             { return c.pid }
@@ -138,7 +332,21 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	c.outbox = kept
 
 	barrier := fmt.Sprintf("sync:%s#%d", scope.Label(), gen)
-	if err := c.task.Barrier(barrier, len(leaves)); err != nil {
+	members := make([]int, len(leaves))
+	for i, l := range leaves {
+		members[i] = c.eng.tree.Pid(l)
+	}
+	c.shared.enterSync(c.pid, &syncWait{scope: scope.Label(), label: label, gen: gen, members: members})
+	err := c.task.Barrier(barrier, len(leaves))
+	c.shared.leaveSync(c.pid)
+	if err != nil {
+		// A halt during the wait means the watchdog declared a desync:
+		// surface its structured report instead of the bare ErrHalted.
+		if errors.Is(err, pvm.ErrHalted) {
+			if derr := c.shared.desyncErr(); derr != nil {
+				return derr
+			}
+		}
 		return err
 	}
 
@@ -197,13 +405,33 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 	p := e.tree.NProcs()
 	sys := pvm.NewSystem()
-	shared := &crun{scopeID: make(map[*model.Machine]int), started: time.Now()}
+	shared := &crun{
+		scopeID: make(map[*model.Machine]int),
+		started: time.Now(),
+		nprocs:  p,
+		waiting: make(map[int]*syncWait),
+		exited:  make(map[int]bool),
+		arrived: make(map[int]map[string]int),
+	}
+
+	timeout := e.DesyncTimeout
+	if timeout == 0 {
+		timeout = defaultDesyncTimeout
+	}
+	if timeout > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go shared.watch(sys, timeout, done)
+	}
 
 	tids := make([]pvm.TID, p)
 	ready := make(chan struct{})
 	for pid := 0; pid < p; pid++ {
 		pid := pid
 		tids[pid] = sys.Spawn(fmt.Sprintf("proc%d", pid), func(t *pvm.Task) error {
+			// markExited runs even on panic, so a crashed processor still
+			// triggers the deterministic exited-member desync check.
+			defer shared.markExited(pid)
 			<-ready
 			c := &cctx{
 				pid:     pid,
@@ -221,6 +449,11 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 	err := sys.Wait()
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
+	// The watchdog's structured report beats the per-task ErrHalted noise
+	// its Halt produced.
+	if shared.desync != nil {
+		err = shared.desync
+	}
 	total := float64(time.Since(shared.started)) / float64(time.Microsecond)
 	return &trace.Report{Steps: shared.steps, Total: total}, err
 }

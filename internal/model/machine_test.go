@@ -146,7 +146,7 @@ func TestNewRejectsBadInput(t *testing.T) {
 	if _, err := New(nil, 1); err == nil {
 		t.Error("nil root accepted")
 	}
-	if _, err := New(NewLeaf("x"), 0); err == nil {
+	if _, err := New(NewLeaf("x"), 0); err == nil { //hbspk:ignore costparams (invalid g under test)
 		t.Error("g = 0 accepted")
 	}
 	if _, err := New(NewLeaf("x"), math.Inf(1)); err == nil {

@@ -76,7 +76,9 @@ func (b *Buffer) checkCode(want byte) error {
 }
 
 func (b *Buffer) take(n int) ([]byte, error) {
-	if b.off+n > len(b.data) {
+	// n < 0 happens when a corrupt length prefix above 2^31 wraps on a
+	// 32-bit int; without the guard the slice below would panic.
+	if n < 0 || b.off+n > len(b.data) {
 		return nil, ErrBufferUnderflow
 	}
 	out := b.data[b.off : b.off+n]
