@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race fuzz clean
+.PHONY: check build vet lint test race chaos fuzz clean
 
-check: build vet lint race
+check: build vet lint race chaos
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos reruns the seeded fault-injection suite by name — fabric fates,
+# engine crash/shrink/checkpoint paths, and the fault-tolerant
+# collective matrix — so a chaos regression is unmistakable in CI.
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/fabric/ ./internal/hbsp/ ./internal/collective/
 
 # fuzz gives each pvm wire-format fuzzer a short budget; CI smoke, not a
 # campaign.

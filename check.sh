@@ -1,9 +1,20 @@
 #!/bin/sh
 # The CI gate, runnable without make: build, go vet, the hbspk-vet model
-# lint suite, and the tests under the race detector.
+# lint suite, the tests under the race detector, the seeded chaos smoke,
+# and a short fuzz pass over the pvm wire format.
 set -eux
 
 go build ./...
 go vet ./...
 go run ./cmd/hbspk-vet ./...
 go test -race ./...
+
+# Seeded chaos smoke: fault injection across the fabric, both engines,
+# and the fault-tolerant collectives, under the race detector. Already
+# part of the suite above; rerun by name so a chaos regression is
+# unmistakable in CI output.
+go test -race -count=1 -run Chaos ./internal/fabric/ ./internal/hbsp/ ./internal/collective/
+
+# Wire-format fuzzers, ~15s each: CI smoke, not a campaign.
+go test ./internal/pvm/ -run '^$' -fuzz FuzzBufferRoundTrip -fuzztime 15s
+go test ./internal/pvm/ -run '^$' -fuzz FuzzUnpack -fuzztime 15s

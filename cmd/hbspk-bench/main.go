@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +21,26 @@ import (
 
 	"hbspk/internal/experiments"
 	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
 	"hbspk/internal/trace"
 )
+
+// fail prints the error — naming the failing processor and superstep
+// when the error carries them — and exits non-zero, so a partial run
+// never passes for a complete table.
+func fail(code int, context string, err error) {
+	var pf *hbsp.ErrPeerFailed
+	switch {
+	case errors.As(err, &pf):
+		fmt.Fprintf(os.Stderr, "hbspk-bench: %s: processor p%d failed at superstep %d (%s): %v\n",
+			context, pf.Pid, pf.Step, pf.Cause, err)
+	case context != "":
+		fmt.Fprintf(os.Stderr, "hbspk-bench: %s: %v\n", context, err)
+	default:
+		fmt.Fprintf(os.Stderr, "hbspk-bench: %v\n", err)
+	}
+	os.Exit(code)
+}
 
 func main() {
 	fig := flag.String("fig", "all", "experiment id (all, table1, 3a, 3b, 4a, 4b, xphase, penalty, validate, calibrate, sens-rs, sens-l, suite, straggler)")
@@ -71,18 +90,15 @@ func main() {
 			res, err = r.Run(cfg)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hbspk-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			fail(1, id, err)
 		}
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "hbspk-bench: %v\n", err)
-				os.Exit(1)
+				fail(1, "", err)
 			}
 			path := filepath.Join(*out, res.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "hbspk-bench: %v\n", err)
-				os.Exit(1)
+				fail(1, "", err)
 			}
 		}
 		fmt.Printf("# %s\n# paper: %s\n", res.Title, res.PaperClaim)

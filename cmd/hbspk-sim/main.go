@@ -7,12 +7,20 @@
 //	hbspk-sim -machine figure1 -collective gather-hier -n 400000
 //	hbspk-sim -machine grid -collective allreduce -timeline-width 120
 //	hbspk-sim -machine cluster.json -collective bcast-hier -pure
+//
+// Fault injection: a chaos plan crash-stops processors and perturbs
+// messages, and the ft-* collectives survive it:
+//
+//	hbspk-sim -machine ucf -collective ft-gather -crash 3@1
+//	hbspk-sim -collective ft-allreduce -drop 0.1 -chaos-seed 7
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hbspk/internal/collective"
 	"hbspk/internal/cost"
@@ -43,10 +51,39 @@ func loadMachine(name string) (*model.Tree, error) {
 	return spec.Tree()
 }
 
+// fail prints the error — naming the failing processor and superstep
+// when the error carries them — and exits non-zero.
+func fail(code int, err error) {
+	var pf *hbsp.ErrPeerFailed
+	if errors.As(err, &pf) {
+		fmt.Fprintf(os.Stderr, "hbspk-sim: processor p%d failed at superstep %d (%s): %v\n",
+			pf.Pid, pf.Step, pf.Cause, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
+	}
+	os.Exit(code)
+}
+
+// parseCrashes turns "2@1,5@3" into crash-stop injections.
+func parseCrashes(spec string) ([]fabric.Crash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []fabric.Crash
+	for _, part := range strings.Split(spec, ",") {
+		var pid, step int
+		if _, err := fmt.Sscanf(part, "%d@%d", &pid, &step); err != nil {
+			return nil, fmt.Errorf("bad -crash entry %q (want pid@step): %w", part, err)
+		}
+		out = append(out, fabric.Crash{Pid: pid, AtStep: step})
+	}
+	return out, nil
+}
+
 func main() {
 	machine := flag.String("machine", "figure1", "preset (ucf, figure1, grid, chain) or JSON spec path")
 	coll := flag.String("collective", "gather-hier",
-		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall")
+		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, ft-gather, ft-bcast, ft-reduce, ft-allreduce")
 	n := flag.Int("n", 400000, "problem size in bytes")
 	pure := flag.Bool("pure", false, "pure cost model instead of PVM overheads")
 	width := flag.Int("timeline-width", 100, "timeline width in columns")
@@ -54,12 +91,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "noise seed")
 	dot := flag.Bool("dot", false, "print the machine as Graphviz DOT and exit")
 	jsonOut := flag.String("json", "", "also write the run report as JSON to this path")
+	crash := flag.String("crash", "", "crash-stop injections, comma-separated pid@step pairs (e.g. 2@1,5@3)")
+	drop := flag.Float64("drop", 0, "chaos: fraction of messages dropped")
+	dup := flag.Float64("duplicate", 0, "chaos: fraction of messages duplicated")
+	delay := flag.Float64("delay", 0, "chaos: fraction of messages delayed")
+	delaySteps := flag.Int("delay-steps", 1, "chaos: supersteps a delayed message is held")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fate seed")
+	detect := flag.Float64("detect-factor", 0, "failure-detection deadline factor (0 = default)")
 	flag.Parse()
 
 	tr, err := loadMachine(*machine)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	if *dot {
 		fmt.Print(tr.DOT())
@@ -74,15 +117,32 @@ func main() {
 		cfg.Seed = *seed
 	}
 
+	crashes, err := parseCrashes(*crash)
+	if err != nil {
+		fail(2, err)
+	}
+	var plan *fabric.ChaosPlan
+	if len(crashes) > 0 || *drop > 0 || *dup > 0 || *delay > 0 {
+		plan = &fabric.ChaosPlan{
+			Seed:       *chaosSeed,
+			Crashes:    crashes,
+			Drop:       *drop,
+			Duplicate:  *dup,
+			Delay:      *delay,
+			DelaySteps: *delaySteps,
+		}
+	}
+
 	prog, err := program(tr, *coll, *n)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
-		os.Exit(2)
+		fail(2, err)
 	}
-	rep, err := hbsp.RunVirtual(tr, cfg, prog)
+	eng := hbsp.NewVirtual(tr, fabric.New(tr, cfg))
+	eng.Chaos = plan
+	eng.DetectFactor = *detect
+	rep, err := eng.Run(prog)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	fmt.Print(tr.String())
 	fmt.Printf("\n%s of %d bytes:\n\n", *coll, *n)
@@ -92,13 +152,11 @@ func main() {
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		defer f.Close()
 		if err := rep.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "hbspk-sim: %v\n", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 	}
 }
@@ -184,6 +242,34 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 	case "scan-hier":
 		return func(c hbsp.Ctx) error {
 			_, err := collective.ScanHier(c, make([]int64, vecLen), collective.Sum)
+			return err
+		}, nil
+	case "ft-gather":
+		return func(c hbsp.Ctx) error {
+			ft := collective.NewFT(c, c.Tree().Root)
+			_, _, err := ft.Gather(make([]byte, balanced[c.Pid()]))
+			return err
+		}, nil
+	case "ft-bcast":
+		return func(c hbsp.Ctx) error {
+			ft := collective.NewFT(c, c.Tree().Root)
+			var in []byte
+			if c.Pid() == rootPid {
+				in = make([]byte, n)
+			}
+			_, err := ft.Bcast(rootPid, in)
+			return err
+		}, nil
+	case "ft-reduce":
+		return func(c hbsp.Ctx) error {
+			ft := collective.NewFT(c, c.Tree().Root)
+			_, _, err := ft.Reduce(make([]int64, vecLen), collective.Sum)
+			return err
+		}, nil
+	case "ft-allreduce":
+		return func(c hbsp.Ctx) error {
+			ft := collective.NewFT(c, c.Tree().Root)
+			_, err := ft.AllReduce(make([]int64, vecLen), collective.Sum)
 			return err
 		}, nil
 	case "alltoall":

@@ -1,0 +1,79 @@
+package hbspk
+
+import (
+	"hbspk/internal/collective"
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+)
+
+// Fault injection and fault tolerance over the public API: seeded chaos
+// plans drive both engines deterministically, failures surface as typed
+// errors, and the FT collectives complete over the survivors.
+
+type (
+	// ChaosPlan is a seeded, deterministic fault-injection plan:
+	// crash-stops, message drop/duplicate/delay fates, and straggler
+	// bursts. The same plan reproduces the same faults on both engines.
+	ChaosPlan = fabric.ChaosPlan
+	// Crash schedules one processor's crash-stop at a sync ordinal
+	// (AtStep) or a virtual time (AtTime, virtual engine only).
+	Crash = fabric.Crash
+	// Straggler multiplies one processor's charged work over a window
+	// of supersteps.
+	Straggler = fabric.Straggler
+	// ErrPeerFailed is the typed death notice a Sync returns to every
+	// live scope member when a peer has crash-stopped. Detect it with
+	// errors.As.
+	ErrPeerFailed = hbsp.ErrPeerFailed
+	// CheckpointStore holds committed superstep checkpoints; share one
+	// store between a crashed run and its recovery run.
+	CheckpointStore = hbsp.CheckpointStore
+	// FT is a session of fault-tolerant collectives over one scope.
+	FT = collective.FT
+)
+
+var (
+	// ErrTimeout is the failure-detection deadline verdict: a peer's
+	// fate is unknown, unlike the definite ErrPeerFailed.
+	ErrTimeout = hbsp.ErrTimeout
+	// ErrLost reports that a fault-tolerant operation's data died with
+	// its holders (e.g. a broadcast source crashed before any survivor
+	// held a copy).
+	ErrLost = collective.ErrLost
+)
+
+// IsCrashStop reports whether err is the error a chaos-killed
+// processor's own Sync returns (survivors see ErrPeerFailed instead).
+func IsCrashStop(err error) bool { return hbsp.IsCrashStop(err) }
+
+// RunChaos executes the program on the virtual-time engine under a
+// fault-injection plan. Runs remain fully deterministic: the same tree,
+// fabric, plan and program produce identical reports.
+func RunChaos(t *Tree, cfg FabricConfig, plan *ChaosPlan, prog Program) (*Report, error) {
+	return hbsp.RunVirtualChaos(t, cfg, plan, prog)
+}
+
+// RunConcurrentChaos executes the program on the wall-clock engine
+// under a fault-injection plan (AtTime crashes and virtual-clock delays
+// do not apply there; everything else matches the virtual engine).
+func RunConcurrentChaos(t *Tree, plan *ChaosPlan, prog Program) (*Report, error) {
+	eng := hbsp.NewConcurrent(t)
+	eng.Chaos = plan
+	return eng.Run(prog)
+}
+
+// NewCheckpointStore returns an empty checkpoint store.
+func NewCheckpointStore() *CheckpointStore { return hbsp.NewCheckpointStore() }
+
+// NewFT opens a fault-tolerant collective session over the scope: its
+// Gather, Bcast, Reduce and AllReduce survive member crashes by
+// re-electing the fastest live coordinator and rerunning over the
+// survivor set.
+func NewFT(c Ctx, scope *Machine) *FT { return collective.NewFT(c, scope) }
+
+// LiveShares renormalizes the balanced-workload fractions c_{i,j} over
+// the scope's surviving members, so degraded-mode partitioning stays
+// balanced.
+func LiveShares(c Ctx, scope *Machine, live []int) map[int]float64 {
+	return collective.LiveShares(c, scope, live)
+}

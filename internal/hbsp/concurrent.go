@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hbspk/internal/fabric"
 	"hbspk/internal/model"
 	"hbspk/internal/pvm"
 	"hbspk/internal/trace"
@@ -29,6 +30,13 @@ import (
 // already exited, or every live processor has been parked at a barrier
 // for DesyncTimeout with no barrier completing — the run is halted with
 // a report naming the waiting and lagging processors.
+//
+// A Chaos plan injects crash-stops and message faults with the same
+// taxonomy as the virtual engine: a scope member's death surfaces to
+// every live member as ErrPeerFailed at the same per-scope sync
+// generation (the dying processor cancels the barriers of already
+// parked survivors; late arrivals see the dead set before parking), and
+// subsequent Syncs on that scope complete over the survivors.
 type Concurrent struct {
 	tree *model.Tree
 	// TimeUnit is the wall-clock duration of one fastest-machine work
@@ -39,6 +47,32 @@ type Concurrent struct {
 	// desync. Zero means the 2s default; negative disables the watchdog
 	// entirely (the exited-member check included).
 	DesyncTimeout time.Duration
+
+	// Chaos, when non-nil, injects the plan's faults. Crash-at-step and
+	// message drop/duplicate fates match the virtual engine exactly
+	// (they hash the same message identities); AtTime crashes and the
+	// virtual-clock flavor of delays do not apply to wall-clock runs —
+	// delays here park a message for the given number of the sender's
+	// sync ordinals.
+	Chaos *fabric.ChaosPlan
+
+	// DetectFactor, when positive, arms a barrier-wait deadline of
+	// DetectFactor × the observed mean barrier wait (EWMA), doubling
+	// per successive timeout by the same processor. Expiry surfaces as
+	// ErrTimeout: the peer's fate is unknown, unlike the definite
+	// ErrPeerFailed of a detected crash. Off by default — crash
+	// detection does not need it, it exists to model partitions.
+	DetectFactor float64
+
+	// Ckpt and CheckpointEvery enable superstep checkpointing, with the
+	// same cadence and store semantics as the virtual engine: at every
+	// CheckpointEvery-th completed global superstep each processor's
+	// Save()d state is committed. The wall-clock engine does not charge
+	// a modeled checkpoint cost (the commit's real cost is already in
+	// the measured times); the virtual engine charges
+	// Config.CheckpointByte for the same commits.
+	Ckpt            *CheckpointStore
+	CheckpointEvery int
 }
 
 // defaultDesyncTimeout balances catching real deadlocks quickly against
@@ -64,6 +98,12 @@ type cctx struct {
 	// syncSeq counts this processor's syncs per scope so that senders
 	// and receivers agree on a message tag per (scope, generation).
 	syncSeq map[*model.Machine]int
+	// ord counts this processor's Sync calls across all scopes: the
+	// chaos plan's per-processor step ordinal.
+	ord int
+
+	failedView []int
+	ckptStage  map[string][]byte
 
 	shared *crun
 }
@@ -71,6 +111,7 @@ type cctx struct {
 // crun is the state shared by all processors of one Run.
 type crun struct {
 	mu      sync.Mutex
+	sys     *pvm.System
 	steps   []trace.Step
 	scopeID map[*model.Machine]int
 	started time.Time
@@ -90,22 +131,100 @@ type crun struct {
 	// exiting right after the final barrier would race a still-parked
 	// waiter into a false desync.
 	arrived map[int]map[string]int
+
+	// Fault-tolerance state, under mu: dead records chaos-killed
+	// processors; acked[pid][scope] is the dead set pid has
+	// acknowledged on that scope (per scope, so a death learned through
+	// a subscope still surfaces on every other scope containing the
+	// victim); detectCount drives the optional deadline backoff;
+	// waitEWMA tracks the mean successful barrier wait, the deadline's
+	// prediction base.
+	dead        map[int]*failInfo
+	acked       map[int]map[string]map[int]bool
+	detectCount map[int]int
+	waitEWMA    time.Duration
+}
+
+// ackScope marks every dead member of the scope acknowledged by pid and
+// returns the smallest newly dead member plus pid's updated global dead
+// view. Caller holds mu. Returns -1 when nothing was unacknowledged.
+func (s *crun) ackScope(pid int, scope string, members []int) (int, []int) {
+	first := -1
+	for _, m := range members {
+		if s.dead[m] != nil && !s.acked[pid][scope][m] {
+			if first < 0 || m < first {
+				first = m
+			}
+		}
+	}
+	if first < 0 {
+		return -1, nil
+	}
+	if s.acked[pid] == nil {
+		s.acked[pid] = make(map[string]map[int]bool)
+	}
+	if s.acked[pid][scope] == nil {
+		s.acked[pid][scope] = make(map[int]bool)
+	}
+	for _, m := range members {
+		if s.dead[m] != nil {
+			s.acked[pid][scope][m] = true
+		}
+	}
+	union := make(map[int]bool)
+	for _, perScope := range s.acked[pid] {
+		for dp := range perScope {
+			union[dp] = true
+		}
+	}
+	return first, sortedPids(union)
 }
 
 // syncWait describes one processor parked in Sync: the scope's label,
-// this processor's sync generation for it, and the member pids that
-// must arrive for the barrier to complete.
+// this processor's sync generation for it, the member pids that must
+// arrive for the barrier to complete, and the pvm barrier name (so a
+// crashing member can cancel exactly this wait).
 type syncWait struct {
 	scope   string
 	label   string
 	gen     int
 	members []int
+	barrier string
 }
 
-// enterSync registers a barrier wait; leaveSync removes it and counts
-// the completion as progress.
-func (s *crun) enterSync(pid int, w *syncWait) {
+// checkAndEnter is the survivor side of the crash protocol's
+// serialization point. Under one critical section it either (a) finds
+// dead, unacknowledged members of the scope — acks them all, and
+// returns the first one's failure record — or (b) registers the barrier
+// wait, with the caller's barrier name extended by the acknowledged
+// dead members of the scope so that shrunken barriers never collide
+// with pre-failure ones. A crashing member holds the same lock while it
+// marks itself dead and collects parked waiters to cancel, so every
+// survivor either parks before the cancel or sees the dead set here.
+func (s *crun) checkAndEnter(pid int, w *syncWait) (deadPid int, info *failInfo, deadView []int, count int) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if first, view := s.ackScope(pid, w.scope, w.members); first >= 0 {
+		return first, s.dead[first], view, 0
+	}
+
+	// Shrunken barrier identity: generation plus this pid's acked dead
+	// members of the scope. The failure protocol guarantees every live
+	// member acks the same dead set at the same generation, so all
+	// survivors compute the same name and the same live count.
+	var deadTag []string
+	count = 0
+	for _, m := range w.members {
+		if s.acked[pid][w.scope][m] {
+			deadTag = append(deadTag, fmt.Sprintf("%d", m))
+		} else {
+			count++
+		}
+	}
+	if len(deadTag) > 0 {
+		w.barrier += "!" + strings.Join(deadTag, ",")
+	}
 	s.waiting[pid] = w
 	m := s.arrived[pid]
 	if m == nil {
@@ -113,13 +232,58 @@ func (s *crun) enterSync(pid int, w *syncWait) {
 		s.arrived[pid] = m
 	}
 	m[w.scope] = w.gen
-	s.mu.Unlock()
+	return -1, nil, nil, count
 }
 
-func (s *crun) leaveSync(pid int) {
+// crashSelf is the victim side: mark pid dead under mu and collect the
+// barrier names of parked survivors waiting on scopes containing pid,
+// then cancel them outside the lock. Canceled waiters wake with
+// ErrCanceled and convert it to ErrPeerFailed.
+func (s *crun) crashSelf(pid, ord int) {
+	s.mu.Lock()
+	s.dead[pid] = &failInfo{step: ord, cause: "crash-stop"}
+	var cancel []string
+	for waiter, w := range s.waiting {
+		if waiter == pid {
+			continue
+		}
+		for _, m := range w.members {
+			if m == pid {
+				cancel = append(cancel, w.barrier)
+				break
+			}
+		}
+	}
+	sys := s.sys
+	s.mu.Unlock()
+	for _, name := range cancel {
+		sys.CancelBarrier(name)
+	}
+}
+
+// ackCanceled handles a survivor woken by a crash cancel: ack every
+// dead member of its scope and return the first one's record.
+func (s *crun) ackCanceled(pid int, scope string, members []int) (int, *failInfo, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first, view := s.ackScope(pid, scope, members)
+	if first < 0 {
+		return -1, nil, nil
+	}
+	return first, s.dead[first], view
+}
+
+func (s *crun) leaveSync(pid int, wait time.Duration) {
 	s.mu.Lock()
 	delete(s.waiting, pid)
 	s.progress++
+	if wait > 0 {
+		if s.waitEWMA == 0 {
+			s.waitEWMA = wait
+		} else {
+			s.waitEWMA = (s.waitEWMA*4 + wait) / 5
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -136,6 +300,32 @@ func (s *crun) desyncErr() error {
 	return s.desync
 }
 
+// barrierDeadline returns the optional detection deadline for pid: the
+// engine's DetectFactor × the observed mean barrier wait, doubling per
+// successive timeout (failure-detector backoff). Zero means no deadline.
+func (s *crun) barrierDeadline(pid int, factor float64) time.Duration {
+	if factor <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.waitEWMA
+	if base <= 0 {
+		return 0 // no history yet: no deadline
+	}
+	backoff := s.detectCount[pid]
+	if backoff > 6 {
+		backoff = 6
+	}
+	return time.Duration(factor * float64(base) * float64(int(1)<<uint(backoff)))
+}
+
+func (s *crun) noteTimeout(pid int) {
+	s.mu.Lock()
+	s.detectCount[pid]++
+	s.mu.Unlock()
+}
+
 // watch polls the waiter registry until done closes. It declares a
 // desync when a waited barrier can provably never complete:
 //
@@ -145,6 +335,10 @@ func (s *crun) desyncErr() error {
 //     full timeout window with no barrier completing in between —
 //     barriers only complete through arrivals, and with nobody left to
 //     arrive the run cannot advance.
+//
+// A chaos-killed member is not a desync: the victim's cancel already
+// races ahead of the watchdog, which only re-cancels the waiter's
+// barrier as a backstop.
 //
 // On a verdict it latches the structured error and halts the system,
 // waking every parked barrier with ErrHalted.
@@ -173,12 +367,18 @@ func (s *crun) watch(sys *pvm.System, timeout time.Duration, done <-chan struct{
 				s.mu.Unlock()
 				return
 			}
-			if err := s.exitedMemberDesync(); err != nil {
+			cancel, err := s.exitedMemberDesync()
+			if err != nil {
 				s.desync = err
 				s.mu.Unlock()
 				sys.Halt()
 				return
 			}
+			s.mu.Unlock()
+			for _, name := range cancel {
+				sys.CancelBarrier(name)
+			}
+			s.mu.Lock()
 			allParked := len(s.waiting) > 0 && len(s.waiting)+len(s.exited) == s.nprocs
 			if !allParked || !stalled || s.progress != stallProgress {
 				stalled = allParked
@@ -200,18 +400,29 @@ func (s *crun) watch(sys *pvm.System, timeout time.Duration, done <-chan struct{
 }
 
 // exitedMemberDesync reports a waited scope with an exited member, a
-// barrier that can never complete. Caller holds mu.
-func (s *crun) exitedMemberDesync() error {
+// barrier that can never complete. Chaos-killed members are not a
+// program bug: their waiters' barriers are returned for cancellation
+// (the failure path) instead of a desync verdict. Caller holds mu.
+func (s *crun) exitedMemberDesync() (cancel []string, err error) {
 	for pid, w := range s.waiting {
 		for _, m := range w.members {
 			reached, ok := s.arrived[m][w.scope]
 			if s.exited[m] && (!ok || reached < w.gen) {
-				return fmt.Errorf("%w: p%d waits on %s#%d(%s) but member p%d already exited",
+				if s.dead[m] != nil {
+					// Only a barrier that has not yet acknowledged this
+					// death can hang on it; an acked barrier counts live
+					// members only and completes without the corpse.
+					if !s.acked[pid][w.scope][m] {
+						cancel = append(cancel, w.barrier)
+					}
+					continue
+				}
+				return nil, fmt.Errorf("%w: p%d waits on %s#%d(%s) but member p%d already exited",
 					ErrDesync, pid, w.scope, w.gen, w.label, m)
 			}
 		}
 	}
-	return nil
+	return cancel, nil
 }
 
 // stallDesync builds the stalled-barriers report: who waits where, and
@@ -263,12 +474,29 @@ func (c *cctx) Charge(ops float64) {
 	if ops <= 0 || c.eng.TimeUnit <= 0 {
 		return
 	}
-	d := time.Duration(ops * c.leaf.CompSlowdown * float64(c.eng.TimeUnit))
+	slow := c.eng.Chaos.Slowdown(c.pid, c.ord)
+	d := time.Duration(ops * c.leaf.CompSlowdown * slow * float64(c.eng.TimeUnit))
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
 		// Busy spin: emulated computation must consume CPU, not yield
 		// it, to behave like the real slow machine.
 	}
+}
+
+func (c *cctx) Failed() []int { return append([]int(nil), c.failedView...) }
+
+func (c *cctx) Save(key string, data []byte) {
+	if c.ckptStage == nil {
+		c.ckptStage = make(map[string][]byte)
+	}
+	c.ckptStage[key] = append([]byte(nil), data...)
+}
+
+func (c *cctx) Restore(key string) ([]byte, bool) {
+	if c.eng.Ckpt == nil {
+		return nil, false
+	}
+	return c.eng.Ckpt.get(c.pid, key)
 }
 
 func (c *cctx) Send(dst, tag int, payload []byte) error {
@@ -281,7 +509,7 @@ func (c *cctx) Send(dst, tag int, payload []byte) error {
 }
 
 // wireTag encodes (scope, generation, user tag) into a pvm tag so that
-// messages of different supersteps never mix. User tags must fit 16
+// messages of different supersteps never mix. User tags must fit 8
 // bits; generations wrap within 20 bits, far beyond any real run.
 func (c *cctx) wireTag(scope *model.Machine, gen, userTag int) int {
 	c.shared.mu.Lock()
@@ -298,8 +526,18 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	if scope == nil {
 		return errors.New("hbsp: Sync with nil scope")
 	}
+	ord := c.ord
+	c.ord++
 	gen := c.syncSeq[scope]
 	c.syncSeq[scope] = gen + 1
+
+	// Crash-stop injection: the victim dies at the boundary, losing the
+	// superstep in progress (nothing queued is flushed), and cancels the
+	// barriers of already parked members so they observe the failure.
+	if c.eng.Chaos.CrashNow(c.pid, ord, 0) {
+		c.shared.crashSelf(c.pid, ord)
+		return fmt.Errorf("%w (p%d at step %d)", errCrashStop, c.pid, ord)
+	}
 
 	leaves := scope.Leaves()
 	inScope := make(map[int]bool, len(leaves))
@@ -313,36 +551,86 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	start := time.Since(c.shared.started)
 
 	// Transmit every queued message whose endpoints are both inside the
-	// scope; the rest stay queued for a wider sync.
+	// scope; the rest stay queued for a wider sync. Chaos fates are
+	// assigned at the first flush a message could take: dropped
+	// messages vanish, duplicates go twice, delayed ones stay queued
+	// until the sender's ordinal passes the hold. Messages to a dead
+	// destination are dropped.
 	var kept []pendingMsg
 	sentBytes := 0
-	for _, m := range c.outbox {
+	for i := range c.outbox {
+		m := c.outbox[i]
 		if !inScope[m.dst] {
 			kept = append(kept, m)
 			continue
 		}
-		buf := pvm.NewBuffer()
-		buf.PackInt32(int32(m.src), int32(m.tag))
-		buf.PackBytes(m.payload)
-		if err := c.task.Send(c.tids[m.dst], c.wireTag(scope, gen, 0), buf); err != nil {
-			return err
+		if !m.fated {
+			f := c.eng.Chaos.MessageFate(m.src, m.dst, m.seq)
+			m.fated, m.drop, m.dup = true, f.Drop, f.Duplicate
+			if f.Delay > 0 {
+				m.holdUntil = ord + f.Delay
+			}
 		}
-		sentBytes += len(m.payload)
+		if m.holdUntil > ord {
+			kept = append(kept, m)
+			continue
+		}
+		if m.drop || c.deadPid(m.dst) {
+			continue
+		}
+		copies := 1
+		if m.dup {
+			copies = 2
+		}
+		for n := 0; n < copies; n++ {
+			buf := pvm.NewBuffer()
+			buf.PackInt32(int32(m.src), int32(m.tag))
+			buf.PackBytes(m.payload)
+			if err := c.task.Send(c.tids[m.dst], c.wireTag(scope, gen, 0), buf); err != nil {
+				return err
+			}
+			sentBytes += len(m.payload)
+		}
 	}
 	c.outbox = kept
 
-	barrier := fmt.Sprintf("sync:%s#%d", scope.Label(), gen)
 	members := make([]int, len(leaves))
 	for i, l := range leaves {
 		members[i] = c.eng.tree.Pid(l)
 	}
-	c.shared.enterSync(c.pid, &syncWait{scope: scope.Label(), label: label, gen: gen, members: members})
-	err := c.task.Barrier(barrier, len(leaves))
-	c.shared.leaveSync(c.pid)
+	wait := &syncWait{
+		scope:   scope.Label(),
+		label:   label,
+		gen:     gen,
+		members: members,
+		barrier: fmt.Sprintf("sync:%s#%d", scope.Label(), gen),
+	}
+	deadPid, info, view, count := c.shared.checkAndEnter(c.pid, wait)
+	if deadPid >= 0 {
+		c.failedView = view
+		return &ErrPeerFailed{Pid: deadPid, Step: info.step, Cause: info.cause}
+	}
+	deadline := c.shared.barrierDeadline(c.pid, c.eng.DetectFactor)
+	err := c.task.BarrierTimeout(wait.barrier, count, deadline)
+	c.shared.leaveSync(c.pid, time.Since(c.shared.started)-start)
 	if err != nil {
-		// A halt during the wait means the watchdog declared a desync:
-		// surface its structured report instead of the bare ErrHalted.
-		if errors.Is(err, pvm.ErrHalted) {
+		switch {
+		case errors.Is(err, pvm.ErrCanceled):
+			// A member crashed while we were parked; convert the cancel
+			// into the typed failure.
+			if dp, di, dv := c.shared.ackCanceled(c.pid, wait.scope, members); dp >= 0 {
+				c.failedView = dv
+				return &ErrPeerFailed{Pid: dp, Step: di.step, Cause: di.cause}
+			}
+			return err
+		case errors.Is(err, pvm.ErrTimeout):
+			c.shared.noteTimeout(c.pid)
+			return fmt.Errorf("hbsp: detection deadline on %s#%d(%s): %w",
+				wait.scope, gen, label, err)
+		case errors.Is(err, pvm.ErrHalted):
+			// A halt during the wait means the watchdog declared a
+			// desync: surface its structured report instead of the bare
+			// ErrHalted.
 			if derr := c.shared.desyncErr(); derr != nil {
 				return derr
 			}
@@ -379,8 +667,17 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	}
 	sortMessages(c.inbox, seqs)
 
-	// The scope coordinator records the step.
-	if scope.Coordinator() == c.leaf {
+	// Checkpoint commit at the global cadence, mirroring the virtual
+	// engine's consistent cut: gen+1 completed global supersteps.
+	if scope == c.eng.tree.Root && c.eng.Ckpt != nil && c.eng.CheckpointEvery > 0 &&
+		(gen+1)%c.eng.CheckpointEvery == 0 {
+		c.eng.Ckpt.commit(c.pid, gen+1, c.ckptStage)
+		c.ckptStage = nil
+	}
+
+	// The scope coordinator records the step — the fastest live member,
+	// so a dead coordinator's role fails over.
+	if c.liveCoordinator(scope) == c.leaf {
 		end := time.Since(c.shared.started)
 		c.shared.mu.Lock()
 		c.shared.steps = append(c.shared.steps, trace.Step{
@@ -389,7 +686,7 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 			ScopeLabel:   scope.Label(),
 			ScopeName:    scope.Name,
 			Level:        scope.Level,
-			Participants: len(leaves),
+			Participants: count,
 			Time:         float64(end-start) / float64(time.Microsecond),
 			Bytes:        sentBytes + recvBytes,
 			Start:        float64(start) / float64(time.Microsecond),
@@ -400,18 +697,46 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	return nil
 }
 
+// deadPid reports whether pid is chaos-dead.
+func (c *cctx) deadPid(pid int) bool {
+	c.shared.mu.Lock()
+	defer c.shared.mu.Unlock()
+	return c.shared.dead[pid] != nil
+}
+
+// liveCoordinator is the scope coordinator restricted to leaves this
+// processor does not know to be dead: coordinator failover.
+func (c *cctx) liveCoordinator(scope *model.Machine) *model.Machine {
+	if len(c.failedView) == 0 {
+		return scope.Coordinator()
+	}
+	dead := make(map[int]bool, len(c.failedView))
+	for _, pid := range c.failedView {
+		dead[pid] = true
+	}
+	return scope.CoordinatorAmong(func(m *model.Machine) bool {
+		return !dead[c.eng.tree.Pid(m)]
+	})
+}
+
 // Run executes the program on every processor with real concurrency and
-// returns a wall-clock report (times in microseconds).
+// returns a wall-clock report (times in microseconds). A chaos-injected
+// crash-stop is not itself a run error: if the survivors complete, the
+// run completes.
 func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 	p := e.tree.NProcs()
 	sys := pvm.NewSystem()
 	shared := &crun{
-		scopeID: make(map[*model.Machine]int),
-		started: time.Now(),
-		nprocs:  p,
-		waiting: make(map[int]*syncWait),
-		exited:  make(map[int]bool),
-		arrived: make(map[int]map[string]int),
+		sys:         sys,
+		scopeID:     make(map[*model.Machine]int),
+		started:     time.Now(),
+		nprocs:      p,
+		waiting:     make(map[int]*syncWait),
+		exited:      make(map[int]bool),
+		arrived:     make(map[int]map[string]int),
+		dead:        make(map[int]*failInfo),
+		acked:       make(map[int]map[string]map[int]bool),
+		detectCount: make(map[int]int),
 	}
 
 	timeout := e.DesyncTimeout
@@ -442,7 +767,14 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 				syncSeq: make(map[*model.Machine]int),
 				shared:  shared,
 			}
-			return prog(c)
+			err := prog(c)
+			if errors.Is(err, errCrashStop) {
+				// The victim's own crash is the experiment, not a
+				// program failure; the run's verdict belongs to the
+				// survivors.
+				return nil
+			}
+			return err
 		})
 	}
 	close(ready)

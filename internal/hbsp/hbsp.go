@@ -62,8 +62,28 @@ type Ctx interface {
 	// Sync ends a super^i-step over the subtree of scope, which must be
 	// an ancestor of (or equal to) this processor's leaf. Every
 	// processor in that subtree must call Sync with the same scope for
-	// the step to complete.
+	// the step to complete. When a scope member is dead, the first Sync
+	// on that scope after the failure returns ErrPeerFailed (every live
+	// member observes it at the same sync generation); subsequent Syncs
+	// complete over the survivors.
 	Sync(scope *model.Machine, label string) error
+
+	// Failed returns the pids this processor knows to be dead, in
+	// ascending order. The set grows exactly when a Sync returns
+	// ErrPeerFailed, so all live members of a scope share the same view
+	// at the same sync generation.
+	Failed() []int
+
+	// Save stages a checkpoint of named per-processor state. Staged
+	// state is committed to the engine's CheckpointStore at the next
+	// checkpointed superstep boundary (see CheckpointEvery); without a
+	// store it is a no-op. The engine copies data at commit time.
+	Save(key string, data []byte)
+
+	// Restore returns the last committed checkpoint of the named state
+	// from the engine's CheckpointStore, or false when none exists —
+	// how a rerun resumes from the last checkpointed barrier.
+	Restore(key string) ([]byte, bool)
 }
 
 // Program is an SPMD processor program.

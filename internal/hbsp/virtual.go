@@ -16,8 +16,8 @@ import (
 // deterministic virtual clock. Processors run as goroutines for
 // programming-model fidelity, but every cost — computation,
 // communication, synchronization — is charged by the fabric, so two runs
-// with the same machine, program and fabric seed produce identical
-// reports.
+// with the same machine, program, fabric seed and chaos plan produce
+// identical reports.
 type Virtual struct {
 	tree *model.Tree
 	fab  *fabric.Fabric
@@ -27,6 +27,28 @@ type Virtual struct {
 	// iteration in user programs (the engine otherwise runs as long as
 	// the program does).
 	MaxSteps int
+
+	// Chaos, when non-nil, injects the plan's faults: crash-stops at
+	// sync boundaries, per-message drop/duplicate/delay, and straggler
+	// bursts multiplying charged work. Composable with the fabric's
+	// noise model.
+	Chaos *fabric.ChaosPlan
+
+	// DetectFactor scales the predicted step cost into the failure
+	// detection deadline charged to each survivor when it learns of a
+	// dead peer (zero means the default of 3). Repeated detections by
+	// the same processor back off exponentially, like a real failure
+	// detector widening its timeout.
+	DetectFactor float64
+
+	// Ckpt, when non-nil together with a positive CheckpointEvery,
+	// commits every processor's Save()d state to the store at every
+	// CheckpointEvery-th completed global superstep. Commit cost is
+	// charged per Config.CheckpointByte so the analytic predictions
+	// stay honest. Rerunning with the same store lets programs resume
+	// from the last checkpointed barrier via Restore.
+	Ckpt            *CheckpointStore
+	CheckpointEvery int
 
 	// inboxes stages delivered messages per pid between the engine's
 	// completeStep and the owning processor's pickup after resume; the
@@ -48,6 +70,13 @@ func RunVirtual(t *model.Tree, cfg fabric.Config, prog Program) (*trace.Report, 
 	return NewVirtual(t, fabric.New(t, cfg)).Run(prog)
 }
 
+// RunVirtualChaos is RunVirtual under a fault-injection plan.
+func RunVirtualChaos(t *model.Tree, cfg fabric.Config, plan *fabric.ChaosPlan, prog Program) (*trace.Report, error) {
+	eng := NewVirtual(t, fabric.New(t, cfg))
+	eng.Chaos = plan
+	return eng.Run(prog)
+}
+
 // ErrDesync reports a malformed SPMD program: processors blocked on
 // barriers that can never complete, or a processor exiting while others
 // still wait on a scope containing it.
@@ -57,6 +86,13 @@ type pendingMsg struct {
 	src, dst, tag int
 	payload       []byte
 	seq           int
+
+	// Chaos bookkeeping: fate is computed once, at the first step the
+	// message would otherwise deliver; holdUntil parks a delayed
+	// message until the given completed-step count.
+	fated     bool
+	drop, dup bool
+	holdUntil int
 }
 
 type vrequest struct {
@@ -66,8 +102,13 @@ type vrequest struct {
 	label  string
 	work   float64
 	outbox []pendingMsg
+	saves  map[string][]byte
 	err    error
 	resume chan error
+
+	// ord is the processor's 0-based sync ordinal, stamped by the
+	// engine when the request is handled.
+	ord int
 }
 
 // vctx is the per-processor Ctx of the virtual engine.
@@ -82,6 +123,12 @@ type vctx struct {
 	outbox []pendingMsg
 	inbox  []Message
 	seq    int
+
+	// failedView is the dead-pid set this processor has acknowledged,
+	// staged by the engine before each resume.
+	failedView []int
+	// ckptStage holds Save()d state until the next Sync ships it.
+	ckptStage map[string][]byte
 }
 
 func (c *vctx) Pid() int             { return c.pid }
@@ -93,6 +140,22 @@ func (c *vctx) Charge(ops float64) {
 	if ops > 0 {
 		c.work += ops * c.leaf.CompSlowdown
 	}
+}
+
+func (c *vctx) Failed() []int { return append([]int(nil), c.failedView...) }
+
+func (c *vctx) Save(key string, data []byte) {
+	if c.ckptStage == nil {
+		c.ckptStage = make(map[string][]byte)
+	}
+	c.ckptStage[key] = append([]byte(nil), data...)
+}
+
+func (c *vctx) Restore(key string) ([]byte, bool) {
+	if c.eng.Ckpt == nil {
+		return nil, false
+	}
+	return c.eng.Ckpt.get(c.pid, key)
 }
 
 func (c *vctx) Send(dst, tag int, payload []byte) error {
@@ -110,10 +173,11 @@ func (c *vctx) Sync(scope *model.Machine, label string) error {
 	}
 	req := &vrequest{
 		pid: c.pid, kind: 's', scope: scope, label: label,
-		work: c.work, outbox: c.outbox, resume: c.resume,
+		work: c.work, outbox: c.outbox, saves: c.ckptStage, resume: c.resume,
 	}
 	c.work = 0
 	c.outbox = nil
+	c.ckptStage = nil
 	c.reqs <- req
 	err := <-c.resume
 	if err != nil {
@@ -125,7 +189,10 @@ func (c *vctx) Sync(scope *model.Machine, label string) error {
 
 // Run executes the program on every processor and returns the run's
 // report. The error is the first processor error, or ErrDesync-wrapped
-// diagnostics for malformed synchronization.
+// diagnostics for malformed synchronization. A chaos-injected
+// crash-stop is not itself a run error: if the survivors complete, the
+// run completes (their view of the failure arrived as ErrPeerFailed
+// from Sync, which a fault-tolerant program may absorb).
 func (v *Virtual) Run(prog Program) (*trace.Report, error) {
 	p := v.tree.NProcs()
 	reqs := make(chan *vrequest)
@@ -166,6 +233,30 @@ type runState struct {
 	undelivered []pendingMsg
 	steps       []trace.Step
 	firstErr    error
+
+	// Fault-tolerance state: syncOrd counts each processor's Sync
+	// calls; dead records crash-stopped processors; acked[pid][scope] is the
+	// dead set pid has acknowledged on that scope (acks are per scope:
+	// a death learned through a subscope sync must still surface on
+	// every other scope containing the victim, or nested-scope members
+	// would diverge); detectCount drives the detection-deadline
+	// backoff; staged holds per-pid checkpoint saves awaiting a commit
+	// boundary; globalSteps counts completed root-scope supersteps
+	// (the checkpoint cadence).
+	syncOrd     []int
+	dead        map[int]*failInfo
+	acked       []map[*model.Machine]map[int]bool
+	detectCount []int
+	staged      []map[string][]byte
+	globalSteps int
+
+	// stepSum/stepN track each processor's mean completed step time,
+	// the cost model's prediction base for detection deadlines. Per
+	// processor, not global: a pid's step sequence is its program
+	// order, so the charge stays deterministic even when sibling
+	// scopes complete in scheduler-dependent order.
+	stepSum []float64
+	stepN   []int
 }
 
 // inboxes staged for pickup by vctx.Sync after resume.
@@ -178,9 +269,16 @@ func (v *Virtual) takeInbox(pid int) []Message {
 func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, error) {
 	p := v.tree.NProcs()
 	st := &runState{
-		pending: make([]*vrequest, p),
-		done:    make([]bool, p),
-		clocks:  make([]float64, p),
+		pending:     make([]*vrequest, p),
+		done:        make([]bool, p),
+		clocks:      make([]float64, p),
+		syncOrd:     make([]int, p),
+		dead:        make(map[int]*failInfo),
+		acked:       make([]map[*model.Machine]map[int]bool, p),
+		detectCount: make([]int, p),
+		staged:      make([]map[string][]byte, p),
+		stepSum:     make([]float64, p),
+		stepN:       make([]int, p),
 	}
 	running := p
 	for running > 0 {
@@ -190,11 +288,11 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 			st.done[req.pid] = true
 			st.clocks[req.pid] += req.work
 			running--
-			if req.err != nil && st.firstErr == nil {
+			if req.err != nil && st.firstErr == nil && !errors.Is(req.err, errCrashStop) {
 				st.firstErr = req.err
 			}
 		case 's':
-			st.pending[req.pid] = req
+			v.handleSync(st, ctxs, req)
 		}
 		v.release(st)
 		if v.MaxSteps > 0 && len(st.steps) >= v.MaxSteps && st.firstErr == nil {
@@ -231,6 +329,150 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 	return rep, st.firstErr
 }
 
+// handleSync stamps, fault-checks and (if clean) parks one sync
+// request. Three fault paths short-circuit the parking: the requester is
+// already dead, the requester crash-stops now, or the requested scope
+// holds dead members this requester has not yet been told about.
+func (v *Virtual) handleSync(st *runState, ctxs []*vctx, req *vrequest) {
+	pid := req.pid
+	req.ord = st.syncOrd[pid]
+	st.syncOrd[pid]++
+	// Checkpoint saves ride every sync request, even one about to fail:
+	// they are program state, not step data.
+	if len(req.saves) > 0 {
+		if st.staged[pid] == nil {
+			st.staged[pid] = make(map[string][]byte)
+		}
+		for k, b := range req.saves {
+			st.staged[pid][k] = b
+		}
+	}
+
+	if st.dead[pid] != nil {
+		// A dead processor's program swallowed the crash error and
+		// synced again; it stays dead.
+		req.resume <- fmt.Errorf("%w (p%d)", errCrashStop, pid)
+		return
+	}
+	if v.Chaos.CrashNow(pid, req.ord, st.clocks[pid]) {
+		v.crash(st, ctxs, pid, req)
+		return
+	}
+	if firstDead, ok := v.unackedDead(st, pid, req.scope); ok {
+		v.failSync(st, ctxs, pid, req.scope, firstDead, req)
+		return
+	}
+	st.pending[pid] = req
+}
+
+// crash marks the requester dead, discards its outbox (crash-stop loses
+// the superstep in progress), purges messages addressed to it, and
+// notifies every parked survivor whose scope contains it.
+func (v *Virtual) crash(st *runState, ctxs []*vctx, pid int, req *vrequest) {
+	st.dead[pid] = &failInfo{step: req.ord, cause: "crash-stop"}
+	req.resume <- fmt.Errorf("%w (p%d at step %d)", errCrashStop, pid, req.ord)
+
+	rest := st.undelivered[:0]
+	for _, m := range st.undelivered {
+		if m.dst != pid {
+			rest = append(rest, m)
+		}
+	}
+	st.undelivered = rest
+
+	for waiter, r := range st.pending {
+		if r == nil || !v.scopeContains(r.scope, pid) {
+			continue
+		}
+		st.pending[waiter] = nil
+		v.failSync(st, ctxs, waiter, r.scope, pid, r)
+	}
+}
+
+// scopeContains reports whether the scope's leaf set includes pid.
+func (v *Virtual) scopeContains(scope *model.Machine, pid int) bool {
+	for _, l := range scope.Leaves() {
+		if v.tree.Pid(l) == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// unackedDead returns the smallest dead pid in scope the given
+// processor has not acknowledged, if any.
+func (v *Virtual) unackedDead(st *runState, pid int, scope *model.Machine) (int, bool) {
+	if len(st.dead) == 0 {
+		return 0, false
+	}
+	first, found := -1, false
+	for _, l := range scope.Leaves() {
+		lp := v.tree.Pid(l)
+		if st.dead[lp] != nil && !st.acked[pid][scope][lp] {
+			if !found || lp < first {
+				first, found = lp, true
+			}
+		}
+	}
+	return first, found
+}
+
+// failSync delivers ErrPeerFailed for one sync attempt: it acknowledges
+// every dead member of the scope for the requester, charges the
+// detection deadline to its clock, stages its updated Failed view, and
+// resumes it with the typed error.
+func (v *Virtual) failSync(st *runState, ctxs []*vctx, pid int, scope *model.Machine, firstDead int, req *vrequest) {
+	if st.acked[pid] == nil {
+		st.acked[pid] = make(map[*model.Machine]map[int]bool)
+	}
+	if st.acked[pid][scope] == nil {
+		st.acked[pid][scope] = make(map[int]bool)
+	}
+	for _, l := range scope.Leaves() {
+		lp := v.tree.Pid(l)
+		if st.dead[lp] != nil {
+			st.acked[pid][scope][lp] = true
+		}
+	}
+	st.clocks[pid] += v.detectCharge(st, pid, scope)
+	union := make(map[int]bool)
+	for _, perScope := range st.acked[pid] {
+		for dp := range perScope {
+			union[dp] = true
+		}
+	}
+	ctxs[pid].failedView = sortedPids(union)
+	info := st.dead[firstDead]
+	req.resume <- &ErrPeerFailed{Pid: firstDead, Step: info.step, Cause: info.cause}
+}
+
+// detectCharge is the failure-detection deadline on the virtual clock:
+// DetectFactor × the predicted step cost (mean completed step time,
+// falling back to the scope's L), doubling per successive detection by
+// the same processor — the detector's backoff.
+func (v *Virtual) detectCharge(st *runState, pid int, scope *model.Machine) float64 {
+	factor := v.DetectFactor
+	if factor <= 0 {
+		factor = defaultDetectFactor
+	}
+	predicted := 0.0
+	if st.stepN[pid] > 0 {
+		predicted = st.stepSum[pid] / float64(st.stepN[pid])
+	}
+	if predicted < scope.SyncCost {
+		predicted = scope.SyncCost
+	}
+	if predicted <= 0 {
+		predicted = 1
+	}
+	backoff := uint(st.detectCount[pid])
+	if backoff > 6 {
+		backoff = 6
+	}
+	st.detectCount[pid]++
+	return factor * predicted * float64(int(1)<<backoff)
+}
+
 // stuck reports whether all unfinished processors are blocked with no
 // releasable scope.
 func (v *Virtual) stuck(st *runState, running int) bool {
@@ -264,10 +506,10 @@ func (v *Virtual) desyncError(st *runState) error {
 	return fmt.Errorf("%w: %s", ErrDesync, strings.Join(parts, " "))
 }
 
-// release completes every scope whose entire leaf set is pending on it.
-// At most one scope can become releasable per arrival, but releasing it
-// may immediately enable nothing else (participants must re-request), so
-// a single pass suffices.
+// release completes every scope whose entire live leaf set is pending
+// on it. Dead processors are excluded: their failure has already been
+// acknowledged by every pending member (failSyncReq guarantees a
+// processor only parks on a scope whose dead members it has acked).
 func (v *Virtual) release(st *runState) {
 	seen := map[*model.Machine]bool{}
 	for pid := range st.pending {
@@ -278,26 +520,35 @@ func (v *Virtual) release(st *runState) {
 		seen[r.scope] = true
 		leaves := r.scope.Leaves()
 		ready := true
+		live := 0
 		for _, l := range leaves {
 			lp := v.tree.Pid(l)
+			if st.dead[lp] != nil {
+				continue
+			}
+			live++
 			if q := st.pending[lp]; q == nil || q.scope != r.scope {
 				ready = false
 				break
 			}
 		}
-		if ready {
+		if ready && live > 0 {
 			v.completeStep(st, r.scope, leaves)
 		}
 	}
 }
 
-// completeStep charges and finishes one super^i-step.
+// completeStep charges and finishes one super^i-step over the scope's
+// live participants.
 func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*model.Machine) {
-	pids := make([]int, len(leaves))
+	var pids []int
 	inScope := make(map[int]bool, len(leaves))
-	for i, l := range leaves {
-		pids[i] = v.tree.Pid(l)
-		inScope[pids[i]] = true
+	for _, l := range leaves {
+		lp := v.tree.Pid(l)
+		inScope[lp] = true
+		if st.dead[lp] == nil {
+			pids = append(pids, lp)
+		}
 	}
 	sort.Ints(pids)
 
@@ -310,7 +561,7 @@ func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*mod
 		if st.clocks[pid] > start {
 			start = st.clocks[pid]
 		}
-		works[pid] = r.work
+		works[pid] = r.work * v.Chaos.Slowdown(pid, r.ord)
 		if label == "" {
 			label = r.label
 		}
@@ -318,24 +569,51 @@ func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*mod
 	}
 	st.undelivered = append(st.undelivered, outbox...)
 
-	// Deliverable: both endpoints inside the scope.
+	// Deliverable: both endpoints inside the scope, destination alive,
+	// and any chaos delay expired. Fates are assigned at the first step
+	// a message could deliver, so a delayed message is parked exactly
+	// once.
+	stepIdx := len(st.steps)
 	var deliver []pendingMsg
 	rest := st.undelivered[:0]
 	for _, m := range st.undelivered {
-		if inScope[m.src] && inScope[m.dst] {
-			deliver = append(deliver, m)
-		} else {
+		if !inScope[m.src] || !inScope[m.dst] {
 			rest = append(rest, m)
+			continue
 		}
+		if st.dead[m.dst] != nil {
+			continue // addressed to a corpse: drop
+		}
+		if !m.fated {
+			f := v.Chaos.MessageFate(m.src, m.dst, m.seq)
+			m.fated, m.drop, m.dup = true, f.Drop, f.Duplicate
+			if f.Delay > 0 {
+				m.holdUntil = stepIdx + f.Delay
+			}
+		}
+		if m.holdUntil > stepIdx {
+			rest = append(rest, m)
+			continue
+		}
+		deliver = append(deliver, m)
 	}
 	st.undelivered = rest
 
-	flows := make([]cost.Flow, len(deliver))
-	for i, m := range deliver {
-		flows[i] = cost.Flow{Src: m.src, Dst: m.dst, Bytes: len(m.payload)}
+	// Dropped messages still consumed bandwidth; duplicates consume it
+	// twice.
+	var flows []cost.Flow
+	for _, m := range deliver {
+		flows = append(flows, cost.Flow{Src: m.src, Dst: m.dst, Bytes: len(m.payload)})
+		if m.dup {
+			flows = append(flows, cost.Flow{Src: m.src, Dst: m.dst, Bytes: len(m.payload)})
+		}
 	}
 	res := v.fab.StepCost(scope, label, flows, works)
 	end := start + res.Time
+	for _, pid := range pids {
+		st.stepSum[pid] += res.Time
+		st.stepN[pid]++
+	}
 
 	// Stage inboxes in sender/seq order.
 	sort.SliceStable(deliver, func(a, b int) bool {
@@ -345,7 +623,34 @@ func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*mod
 		return deliver[a].seq < deliver[b].seq
 	})
 	for _, m := range deliver {
+		if m.drop {
+			continue
+		}
 		v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
+		if m.dup {
+			v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
+		}
+	}
+
+	// Checkpoint commit at the global cadence: registered state of
+	// every live participant is snapshotted, and the per-byte cost
+	// lands on each processor's clock past the step's end.
+	ckptMax := 0.0
+	ckptCost := make(map[int]float64, len(pids))
+	if scope == v.tree.Root {
+		st.globalSteps++
+		if v.Ckpt != nil && v.CheckpointEvery > 0 && st.globalSteps%v.CheckpointEvery == 0 {
+			perByte := v.fab.Config().CheckpointByte
+			for _, pid := range pids {
+				n := v.Ckpt.commit(pid, st.globalSteps, st.staged[pid])
+				st.staged[pid] = nil
+				c := perByte * float64(n) * v.tree.Leaf(pid).CompSlowdown
+				ckptCost[pid] = c
+				if c > ckptMax {
+					ckptMax = c
+				}
+			}
+		}
 	}
 
 	st.steps = append(st.steps, trace.Step{
@@ -360,6 +665,7 @@ func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*mod
 		Comm:         res.Comm,
 		Sync:         res.Sync,
 		Time:         res.Time,
+		Ckpt:         ckptMax,
 		Flows:        res.Flows,
 		Bytes:        res.Bytes,
 		GatingPid:    res.GatingPid,
@@ -369,7 +675,7 @@ func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*mod
 	})
 
 	for _, pid := range pids {
-		st.clocks[pid] = end
+		st.clocks[pid] = end + ckptCost[pid]
 		r := st.pending[pid]
 		st.pending[pid] = nil
 		r.resume <- nil

@@ -163,14 +163,27 @@ func (m *Machine) Walk(visit func(*Machine)) {
 // "may represent the fastest machine in their subtree". Ties are broken
 // by compute slowdown, then by tree order. For a leaf it returns the
 // machine itself.
-func (m *Machine) Coordinator() *Machine {
+func (m *Machine) Coordinator() *Machine { return m.CoordinatorAmong(nil) }
+
+// CoordinatorAmong returns the coordinator restricted to leaves for
+// which alive returns true (nil means all leaves) — the re-election
+// rule when machines fail: the fastest *live* machine of the subtree,
+// by the same fastest-in-subtree ordering as Coordinator. It returns
+// nil when no leaf is alive.
+func (m *Machine) CoordinatorAmong(alive func(*Machine) bool) *Machine {
 	if m.IsLeaf() {
-		return m
+		if alive == nil || alive(m) {
+			return m
+		}
+		return nil
 	}
-	leaves := m.Leaves()
-	best := leaves[0]
-	for _, l := range leaves[1:] {
-		if l.CommSlowdown < best.CommSlowdown ||
+	var best *Machine
+	for _, l := range m.Leaves() {
+		if alive != nil && !alive(l) {
+			continue
+		}
+		if best == nil ||
+			l.CommSlowdown < best.CommSlowdown ||
 			(l.CommSlowdown == best.CommSlowdown && l.CompSlowdown < best.CompSlowdown) {
 			best = l
 		}

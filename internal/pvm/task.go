@@ -1,9 +1,11 @@
 package pvm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // TID identifies a spawned task, PVM-style.
@@ -30,6 +32,15 @@ func (m Message) Len() int { return len(m.buf) }
 
 // ErrHalted is returned by blocking operations after Halt.
 var ErrHalted = errors.New("pvm: system halted")
+
+// ErrTimeout is returned by deadline-bounded blocking operations
+// (RecvTimeout, RecvContext, BarrierTimeout) when the deadline expires
+// before the operation completes.
+var ErrTimeout = errors.New("pvm: operation timed out")
+
+// ErrCanceled is returned by Barrier waiters whose barrier was torn
+// down with CancelBarrier before it completed.
+var ErrCanceled = errors.New("pvm: barrier canceled")
 
 // System is the virtual machine: it spawns tasks, routes messages and
 // hosts group barriers.
@@ -216,6 +227,70 @@ func (t *Task) Recv(src TID, tag int) (Message, error) {
 	}
 }
 
+// RecvTimeout is Recv with a deadline: it blocks until a matching
+// message arrives, the system halts, or d elapses, in which case it
+// returns ErrTimeout. A non-positive d degrades to a non-blocking
+// probe-and-fail.
+func (t *Task) RecvTimeout(src TID, tag int, d time.Duration) (Message, error) {
+	deadline := time.Now().Add(d)
+	var timer *time.Timer
+	if d > 0 {
+		// The timer only wakes the cond; the loop re-checks the clock.
+		timer = time.AfterFunc(d, func() {
+			t.mu.Lock()
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if i := t.match(src, tag); i >= 0 {
+			m := t.mbox[i]
+			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+			return m, nil
+		}
+		if t.halted {
+			return Message{}, ErrHalted
+		}
+		if !time.Now().Before(deadline) {
+			return Message{}, fmt.Errorf("pvm: recv(src=%d, tag=%d) after %v: %w", src, tag, d, ErrTimeout)
+		}
+		t.cond.Wait()
+	}
+}
+
+// RecvContext is Recv bounded by a context: it returns the context's
+// error (wrapped with ErrTimeout for deadline expiry) once ctx is done.
+func (t *Task) RecvContext(ctx context.Context, src TID, tag int) (Message, error) {
+	stop := context.AfterFunc(ctx, func() {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer stop()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if i := t.match(src, tag); i >= 0 {
+			m := t.mbox[i]
+			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+			return m, nil
+		}
+		if t.halted {
+			return Message{}, ErrHalted
+		}
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return Message{}, fmt.Errorf("pvm: recv(src=%d, tag=%d): %w: %w", src, tag, ErrTimeout, err)
+			}
+			return Message{}, fmt.Errorf("pvm: recv(src=%d, tag=%d): %w", src, tag, err)
+		}
+		t.cond.Wait()
+	}
+}
+
 // TryRecv is Recv without blocking; ok reports whether a match existed.
 func (t *Task) TryRecv(src TID, tag int) (Message, bool) {
 	t.mu.Lock()
@@ -253,16 +328,27 @@ func (t *Task) match(src TID, tag int) int {
 }
 
 type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	gen     int
-	halted  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	gen      int
+	halted   bool
+	canceled bool
 }
 
 // Barrier blocks until count tasks have entered the named barrier
 // (PVM's pvm_barrier). All participants must agree on count.
 func (t *Task) Barrier(name string, count int) error {
+	return t.BarrierTimeout(name, count, 0)
+}
+
+// BarrierTimeout is Barrier with a deadline: when d is positive and
+// elapses before the barrier completes, the task withdraws its arrival
+// (so a later retry is not double-counted) and returns ErrTimeout. A
+// zero or negative d waits forever. A barrier torn down with
+// CancelBarrier returns ErrCanceled to every waiter and every
+// subsequent arrival.
+func (t *Task) BarrierTimeout(name string, count int, d time.Duration) error {
 	if count <= 0 {
 		return fmt.Errorf("pvm: barrier %q with count %d", name, count)
 	}
@@ -280,8 +366,23 @@ func (t *Task) Barrier(name string, count int) error {
 	}
 	s.mu.Unlock()
 
+	var deadline time.Time
+	var timer *time.Timer
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		timer = time.AfterFunc(d, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.canceled {
+		return fmt.Errorf("pvm: barrier %q: %w", name, ErrCanceled)
+	}
 	gen := b.gen
 	b.arrived++
 	if b.arrived >= count {
@@ -290,11 +391,40 @@ func (t *Task) Barrier(name string, count int) error {
 		b.cond.Broadcast()
 		return nil
 	}
-	for b.gen == gen && !b.halted {
+	for b.gen == gen && !b.halted && !b.canceled {
+		if d > 0 && !time.Now().Before(deadline) {
+			b.arrived--
+			return fmt.Errorf("pvm: barrier %q after %v: %w", name, d, ErrTimeout)
+		}
 		b.cond.Wait()
 	}
-	if b.halted && b.gen == gen {
-		return ErrHalted
+	if b.gen != gen {
+		return nil // completed while we were checking
 	}
-	return nil
+	if b.canceled {
+		return fmt.Errorf("pvm: barrier %q: %w", name, ErrCanceled)
+	}
+	return ErrHalted
+}
+
+// CancelBarrier tears down the named barrier: every current waiter and
+// every later arrival gets ErrCanceled. Unlike Halt it affects only
+// this barrier, so the rest of the system keeps running — the hook the
+// failure-detection layer uses to un-park survivors of a crashed peer.
+// Canceling a name nobody has arrived at yet still latches: the cancel
+// may race ahead of the waiter it is meant to wake.
+func (s *System) CancelBarrier(name string) {
+	s.mu.Lock()
+	b, ok := s.barriers[name]
+	if !ok {
+		b = &barrier{}
+		b.cond = sync.NewCond(&b.mu)
+		s.barriers[name] = b
+	}
+	s.mu.Unlock()
+	b.mu.Lock()
+	b.canceled = true
+	b.arrived = 0
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
