@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race chaos fuzz clean
+.PHONY: check build vet lint test race chaos verify fuzz clean
 
-check: build vet lint race chaos
+check: build vet lint race chaos verify
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,9 @@ vet:
 	$(GO) vet ./...
 
 # lint runs hbspk-vet, the model-invariant checkers of internal/analysis
-# (sync discipline, buffer reuse, dropped errors, cost parameters, lock
-# order), over every package including tests.
+# (sync discipline, communication topology, buffer lifetimes, buffer
+# reuse, dropped errors, cost parameters, lock order, stale ignore
+# directives), over every package including tests.
 lint:
 	$(GO) run ./cmd/hbspk-vet ./...
 
@@ -31,6 +32,14 @@ race:
 # collective matrix — so a chaos regression is unmistakable in CI.
 chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/fabric/ ./internal/hbsp/ ./internal/collective/
+
+# verify smoke-tests the semantic checker: schedule exploration with
+# the happens-before checker armed must certify gather, bcast and
+# reduce delivery-order independent under 4 seeded permutations each.
+verify:
+	$(GO) run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
+	$(GO) run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
+	$(GO) run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
 
 # fuzz gives each pvm wire-format fuzzer a short budget; CI smoke, not a
 # campaign.

@@ -15,6 +15,13 @@ go test -race ./...
 # unmistakable in CI output.
 go test -race -count=1 -run Chaos ./internal/fabric/ ./internal/hbsp/ ./internal/collective/
 
+# Verification smoke: schedule exploration (happens-before checker
+# armed) must certify the shipped collectives delivery-order
+# independent under 4 seeded permutations each.
+go run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
+go run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
+go run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
+
 # Wire-format fuzzers, ~15s each: CI smoke, not a campaign.
 go test ./internal/pvm/ -run '^$' -fuzz FuzzBufferRoundTrip -fuzztime 15s
 go test ./internal/pvm/ -run '^$' -fuzz FuzzUnpack -fuzztime 15s

@@ -13,6 +13,14 @@
 //
 //	hbspk-sim -machine ucf -collective ft-gather -crash 3@1
 //	hbspk-sim -collective ft-allreduce -drop 0.1 -chaos-seed 7
+//
+// Verification: -verify arms the happens-before determinism checker
+// (vector clocks on every message and barrier), and -explore N replays
+// the program under N seeded delivery-order permutations and diffs the
+// final states. The seeded nondeterministic demos show both failing:
+//
+//	hbspk-sim -collective mutate-send -verify
+//	hbspk-sim -collective nondet-reduce -explore 8
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"hbspk/internal/collective"
@@ -83,7 +92,7 @@ func parseCrashes(spec string) ([]fabric.Crash, error) {
 func main() {
 	machine := flag.String("machine", "figure1", "preset (ucf, figure1, grid, chain) or JSON spec path")
 	coll := flag.String("collective", "gather-hier",
-		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, ft-gather, ft-bcast, ft-reduce, ft-allreduce")
+		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, ft-gather, ft-bcast, ft-reduce, ft-allreduce, nondet-reduce, mutate-send")
 	n := flag.Int("n", 400000, "problem size in bytes")
 	pure := flag.Bool("pure", false, "pure cost model instead of PVM overheads")
 	width := flag.Int("timeline-width", 100, "timeline width in columns")
@@ -98,6 +107,9 @@ func main() {
 	delaySteps := flag.Int("delay-steps", 1, "chaos: supersteps a delayed message is held")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fate seed")
 	detect := flag.Float64("detect-factor", 0, "failure-detection deadline factor (0 = default)")
+	verify := flag.Bool("verify", false, "arm the happens-before determinism checker (vector clocks, zero modeled cost)")
+	explore := flag.Int("explore", 0, "replay under N seeded delivery-order permutations and diff final states (0 = off)")
+	exploreSeed := flag.Int64("explore-seed", 1, "delivery-order permutation seed for -explore")
 	flag.Parse()
 
 	tr, err := loadMachine(*machine)
@@ -140,6 +152,35 @@ func main() {
 	eng := hbsp.NewVirtual(tr, fabric.New(tr, cfg))
 	eng.Chaos = plan
 	eng.DetectFactor = *detect
+	eng.Verify = *verify
+
+	if *explore > 0 {
+		// Exploration always arms the checker: a permuted schedule that
+		// trips the happens-before rule should be reported as such, not
+		// as an unexplained state diff.
+		eng.Verify = true
+		set, err := eng.RunSchedules(prog, *explore, *exploreSeed)
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Print(tr.String())
+		fmt.Printf("\n%s of %d bytes under %d delivery schedules (seed %d):\n\n",
+			*coll, *n, *explore, *exploreSeed)
+		for _, r := range set.Runs {
+			status := "ok"
+			if r.Err != nil {
+				status = r.Err.Error()
+			}
+			fmt.Printf("  schedule %2d: fingerprint %016x  %s\n", r.Perm, r.Fingerprint, status)
+		}
+		if !set.Agree() {
+			fmt.Printf("\nSCHEDULE-DEPENDENT: %s\n", set.Diff())
+			os.Exit(1)
+		}
+		fmt.Printf("\nall %d schedules agree: the result is delivery-order independent\n", *explore)
+		return
+	}
+
 	rep, err := eng.Run(prog)
 	if err != nil {
 		fail(1, err)
@@ -172,12 +213,18 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 	switch coll {
 	case "gather":
 		return func(c hbsp.Ctx) error {
-			_, err := collective.Gather(c, c.Tree().Root, rootPid, make([]byte, balanced[c.Pid()]))
+			out, err := collective.Gather(c, c.Tree().Root, rootPid, make([]byte, balanced[c.Pid()]))
+			if out != nil {
+				c.Save("result", digestMap(out))
+			}
 			return err
 		}, nil
 	case "gather-hier":
 		return func(c hbsp.Ctx) error {
-			_, err := collective.GatherHier(c, make([]byte, balanced[c.Pid()]))
+			out, err := collective.GatherHier(c, make([]byte, balanced[c.Pid()]))
+			if out != nil {
+				c.Save("result", digestMap(out))
+			}
 			return err
 		}, nil
 	case "scatter-hier":
@@ -198,7 +245,10 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 			if c.Pid() == rootPid {
 				in = make([]byte, n)
 			}
-			_, err := collective.BcastOnePhase(c, c.Tree().Root, rootPid, in)
+			out, err := collective.BcastOnePhase(c, c.Tree().Root, rootPid, in)
+			if out != nil {
+				c.Save("result", out)
+			}
 			return err
 		}, nil
 	case "bcast2":
@@ -216,7 +266,10 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 			if c.Self() == c.Tree().FastestLeaf() {
 				in = make([]byte, n)
 			}
-			_, err := collective.BcastHier(c, in, false)
+			out, err := collective.BcastHier(c, in, false)
+			if out != nil {
+				c.Save("result", out)
+			}
 			return err
 		}, nil
 	case "allgather":
@@ -231,12 +284,18 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 		}, nil
 	case "reduce-hier":
 		return func(c hbsp.Ctx) error {
-			_, err := collective.ReduceHier(c, make([]int64, vecLen), collective.Sum)
+			out, err := collective.ReduceHier(c, make([]int64, vecLen), collective.Sum)
+			if out != nil {
+				c.Save("result", digestVec(out))
+			}
 			return err
 		}, nil
 	case "allreduce":
 		return func(c hbsp.Ctx) error {
-			_, err := collective.AllReduce(c, make([]int64, vecLen), collective.Sum)
+			out, err := collective.AllReduce(c, make([]int64, vecLen), collective.Sum)
+			if out != nil {
+				c.Save("result", digestVec(out))
+			}
 			return err
 		}, nil
 	case "scan-hier":
@@ -282,6 +341,68 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 			_, err := collective.TotalExchange(c, c.Tree().Root, out)
 			return err
 		}, nil
+	case "nondet-reduce":
+		// Deliberately schedule-dependent: the root folds arrivals in
+		// delivery order with a non-commutative op. No happens-before
+		// rule is broken, so -verify alone stays silent — only -explore
+		// exposes the order dependence as a state diff.
+		return func(c hbsp.Ctx) error {
+			if c.Pid() != rootPid {
+				if err := c.Send(rootPid, 1, []byte{byte(c.Pid() + 1)}); err != nil {
+					return err
+				}
+			}
+			if err := hbsp.SyncAll(c, "nondet-gather"); err != nil {
+				return err
+			}
+			if c.Pid() == rootPid {
+				total := int64(1)
+				for _, m := range c.Moves() {
+					total = total*2 - int64(m.Payload[0])
+				}
+				c.Save("total", digestVec([]int64{total}))
+			}
+			return nil
+		}, nil
+	case "mutate-send":
+		// Deliberately racy: the sender mutates the payload after Send,
+		// before the barrier delivers it — the happens-before checker
+		// reports ErrNondeterminism at the receiver under -verify.
+		return func(c hbsp.Ctx) error {
+			buf := []byte{1, 2, 3, 4}
+			if c.Pid() == rootPid {
+				if err := c.Send((rootPid+1)%c.NProcs(), 0, buf); err != nil {
+					return err
+				}
+				buf[0] = 0xEE //hbspk:ignore bufreuse (deliberate: this demo exists to trip the runtime verifier)
+			}
+			return hbsp.SyncAll(c, "deliver")
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown collective %q", coll)
+}
+
+// digestMap encodes a pid-keyed result deterministically for Save, so
+// schedule fingerprints compare final states rather than map order.
+func digestMap(m map[int][]byte) []byte {
+	pids := make([]int, 0, len(m))
+	for pid := range m {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var d []byte
+	for _, pid := range pids {
+		d = append(d, byte(pid), byte(len(m[pid])), byte(len(m[pid])>>8))
+		d = append(d, m[pid]...)
+	}
+	return d
+}
+
+func digestVec(v []int64) []byte {
+	d := make([]byte, 0, 8*len(v))
+	for _, x := range v {
+		d = append(d, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+			byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+	}
+	return d
 }

@@ -1,7 +1,8 @@
 // Command hbspk-vet is the HBSP^k multichecker: it applies the
-// internal/analysis suite — syncdiscipline, bufreuse, uncheckedrun,
-// costparams, lockorder — to the packages named on the command line and
-// exits non-zero if any invariant of the programming model is violated.
+// internal/analysis suite — syncdiscipline, commgraph, syncflow,
+// bufreuse, uncheckedrun, costparams, lockorder — to the packages named
+// on the command line and exits non-zero if any invariant of the
+// programming model is violated.
 //
 // Usage:
 //
@@ -13,12 +14,23 @@
 //
 //	go run ./cmd/hbspk-vet ./...
 //
-// Diagnostics print as file:line:col: message (analyzer). Individual
-// findings can be suppressed with a trailing
-// `//hbspk:ignore <analyzer>` comment after a human audit.
+// Diagnostics print as file:line:col: message (analyzer), or as a JSON
+// array of {file, line, col, analyzer, message} objects under -json —
+// the machine-readable form CI and editor integrations consume.
+// Individual findings can be suppressed with a trailing
+// `//hbspk:ignore <analyzer>` comment after a human audit; a directive
+// that no longer suppresses anything is itself reported (staleignore).
+//
+// Exit codes:
+//
+//	0  the analyzed packages are clean
+//	1  at least one finding was reported
+//	2  the run itself failed (bad flags, unloadable packages,
+//	   analyzer error)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +40,21 @@ import (
 	"hbspk/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
 		listOnly = flag.Bool("list", false, "list the analyzers and exit")
 		noTests  = flag.Bool("skip-tests", false, "do not analyze _test.go files")
 		only     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		asJSON   = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -40,6 +62,8 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-16s %s\n", analysis.StaleIgnoreName,
+			"report //hbspk:ignore directives that suppress nothing (always on)")
 		return
 	}
 
@@ -71,13 +95,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		pos := loader.Fset().Position(d.Pos)
-		rel, relErr := filepath.Rel(moduleDir, pos.Filename)
-		if relErr != nil {
-			rel = pos.Filename
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			pos := loader.Fset().Position(d.Pos)
+			rel, relErr := filepath.Rel(moduleDir, pos.Filename)
+			if relErr != nil {
+				rel = pos.Filename
+			}
+			out = append(out, jsonDiagnostic{
+				File: rel, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			pos := loader.Fset().Position(d.Pos)
+			rel, relErr := filepath.Rel(moduleDir, pos.Filename)
+			if relErr != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hbspk-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -59,6 +59,17 @@ type Pass struct {
 	// noLint maps file base name to the set of lines carrying an
 	// analyzer suppression directive.
 	noLint map[string]map[int]map[string]bool
+
+	// fired, when non-nil, records every directive that actually
+	// suppressed a finding, keyed by ignoreKey; the driver uses it to
+	// flag stale directives after all analyzers have run.
+	fired map[string]bool
+}
+
+// ignoreKey identifies one suppression directive: the bare form and
+// each named form on a line are distinct directives.
+func ignoreKey(file string, line int, name string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, name)
 }
 
 // Diagnostic is one finding at a source position.
@@ -92,7 +103,22 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 	if names == nil {
 		return false
 	}
-	return names[""] || names[p.Analyzer.Name]
+	hit := false
+	if names[""] {
+		p.markFired(position.Filename, position.Line, "")
+		hit = true
+	}
+	if names[p.Analyzer.Name] {
+		p.markFired(position.Filename, position.Line, p.Analyzer.Name)
+		hit = true
+	}
+	return hit
+}
+
+func (p *Pass) markFired(file string, line int, name string) {
+	if p.fired != nil {
+		p.fired[ignoreKey(file, line, name)] = true
+	}
 }
 
 func (p *Pass) buildNoLint() {
@@ -145,6 +171,8 @@ func parseIgnore(text string) (name string, ok bool) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		SyncDiscipline,
+		CommGraph,
+		SyncFlow,
 		BufReuse,
 		UncheckedRun,
 		CostParams,
@@ -152,13 +180,28 @@ func All() []*Analyzer {
 	}
 }
 
+// StaleIgnoreName is the pseudo-analyzer under which unused suppression
+// directives are reported: an //hbspk:ignore that suppresses nothing is
+// stale — the code it excused has moved or been fixed — and stale
+// directives mask future regressions on their line.
+const StaleIgnoreName = "staleignore"
+
 // RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position. Analyzer runtime errors are returned
-// after the diagnostics collected so far.
+// findings sorted by position, followed by a stale-directive sweep:
+// an ignore directive naming an analyzer in this run (or a bare ignore,
+// when the full suite ran) that suppressed nothing is itself reported
+// under StaleIgnoreName. Directives naming analyzers outside the run
+// set are not judged. Analyzer runtime errors are returned after the
+// diagnostics collected so far.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	var firstErr error
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
+		fired := make(map[string]bool)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -167,14 +210,60 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Report:    func(d Diagnostic) { diags = append(diags, d) },
+				fired:     fired,
 			}
 			if err := a.Run(pass); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		diags = append(diags, staleIgnores(pkg, ran, fired)...)
 	}
 	sortDiagnostics(pkgs, diags)
 	return diags, firstErr
+}
+
+// staleIgnores reports each suppression directive in pkg that no
+// analyzer of this run consumed. Bare directives can only be judged
+// when every analyzer of the full suite ran.
+func staleIgnores(pkg *Package, ran map[string]bool, fired map[string]bool) []Diagnostic {
+	fullSuite := true
+	for _, a := range All() {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				if name == "" && !fullSuite {
+					continue
+				}
+				if name != "" && !ran[name] {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if fired[ignoreKey(pos.Filename, pos.Line, name)] {
+					continue
+				}
+				what := "//hbspk:ignore"
+				if name != "" {
+					what += " " + name
+				}
+				out = append(out, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: StaleIgnoreName,
+					Message:  fmt.Sprintf("stale %s: the directive suppresses nothing on its line", what),
+				})
+			}
+		}
+	}
+	return out
 }
 
 func sortDiagnostics(pkgs []*Package, diags []Diagnostic) {

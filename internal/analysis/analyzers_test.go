@@ -23,6 +23,10 @@ func runGolden(t *testing.T, a *Analyzer, pattern string) {
 
 func TestSyncDisciplineGolden(t *testing.T) { runGolden(t, SyncDiscipline, "syncdiscipline") }
 
+func TestCommGraphGolden(t *testing.T) { runGolden(t, CommGraph, "commgraph") }
+
+func TestSyncFlowGolden(t *testing.T) { runGolden(t, SyncFlow, "syncflow") }
+
 func TestBufReuseGolden(t *testing.T) { runGolden(t, BufReuse, "bufreuse") }
 
 func TestUncheckedRunGolden(t *testing.T) { runGolden(t, UncheckedRun, "uncheckedrun") }

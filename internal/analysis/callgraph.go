@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The interprocedural layer: a package-local call graph over declared
+// functions and methods, plus a fact fixpoint. Both commgraph and
+// syncflow need one answer cross-function: "does calling fn synchronize
+// processors?" — a helper that buries a Sync three calls deep is still
+// a superstep boundary at its call site. The graph is package-local by
+// design (the loader type-checks one package at a time); calls into
+// other packages fall back to the structural isSyncCall test, which
+// already recognizes the model's exported vocabulary (Sync, SyncAll,
+// Barrier, the collectives).
+
+// callGraph indexes a package's function declarations and the
+// synchronizes-transitively fact.
+type callGraph struct {
+	pass *Pass
+	// decls maps each declared function or method to its body.
+	decls map[*types.Func]*ast.FuncDecl
+	// syncs holds the fixpoint: fn contains a synchronizing call,
+	// directly or through any chain of package-local callees.
+	syncs map[*types.Func]bool
+}
+
+// buildCallGraph indexes the pass's files and runs the fixpoint.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		syncs: make(map[*types.Func]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.decls[obj] = fd
+			}
+		}
+	}
+
+	// Seed with direct synchronizers, then propagate caller-ward until
+	// stable: a function synchronizes if any call in its body does.
+	edges := make(map[*types.Func][]*types.Func) // callee -> callers
+	for obj, fd := range g.decls {
+		direct := false
+		walkBody(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isSyncCall(pass.TypesInfo, call) {
+				direct = true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if _, local := g.decls[callee]; local {
+					edges[callee] = append(edges[callee], obj)
+				}
+			}
+			return true
+		})
+		if direct {
+			g.syncs[obj] = true
+		}
+	}
+	work := make([]*types.Func, 0, len(g.syncs))
+	for fn := range g.syncs {
+		work = append(work, fn)
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range edges[fn] {
+			if !g.syncs[caller] {
+				g.syncs[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return g
+}
+
+// callSynchronizes reports whether the call is a superstep boundary:
+// a structural sync (Sync/SyncAll/Barrier/collective) or a call to a
+// package-local function that synchronizes transitively.
+func (g *callGraph) callSynchronizes(call *ast.CallExpr) bool {
+	if isSyncCall(g.pass.TypesInfo, call) {
+		return true
+	}
+	fn := calleeFunc(g.pass.TypesInfo, call)
+	return fn != nil && g.syncs[fn]
+}

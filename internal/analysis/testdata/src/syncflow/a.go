@@ -1,0 +1,164 @@
+// Package syncflow is the golden fixture for the syncflow analyzer: a
+// self-contained replica of the HBSPlib Ctx surface with seeded
+// delivered-buffer lifetime violations, including the cross-function
+// shapes that need the package call graph. The analyzer keys on method
+// sets, not import paths, so the stubs exercise exactly the production
+// detection logic.
+package syncflow
+
+type Machine struct{}
+
+type Tree struct{ Root *Machine }
+
+type Message struct {
+	Src, Tag int
+	Payload  []byte
+}
+
+type Ctx interface {
+	Pid() int
+	NProcs() int
+	Tree() *Tree
+	Self() *Machine
+	Moves() []Message
+	Send(dst, tag int, payload []byte) error
+	Sync(scope *Machine, label string) error
+}
+
+func consume(b []byte) error { return nil }
+
+func decode(b []byte) []int { return make([]int, len(b)) }
+
+// --- violations ---
+
+func staleAcrossSync(c Ctx, scope *Machine) error {
+	var first []byte
+	if err := c.Sync(scope, "deliver"); err != nil {
+		return err
+	}
+	for _, m := range c.Moves() {
+		first = m.Payload
+	}
+	if err := c.Sync(scope, "next step"); err != nil {
+		return err
+	}
+	return consume(first) // want `delivered buffer "first" received in superstep generation 1 read after a later superstep boundary`
+}
+
+// The boundary is a helper whose Sync only the call graph can see.
+func staleAcrossHelperBoundary(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "deliver"); err != nil {
+		return err
+	}
+	moves := c.Moves()
+	if err := stepOnce(c, scope); err != nil {
+		return err
+	}
+	return consume(moves[0].Payload) // want `delivered buffer "moves" received in superstep generation 1 read after a later superstep boundary`
+}
+
+func stepOnce(c Ctx, scope *Machine) error { return c.Sync(scope, "hidden boundary") }
+
+// The buffer expires inside the callee: relayAfterBarrier crosses its
+// own barrier before reading its parameter, so handing it a delivered
+// payload is an early read one frame down.
+func staleArgToHelper(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "deliver"); err != nil {
+		return err
+	}
+	var payload []byte
+	for _, m := range c.Moves() {
+		payload = m.Payload
+	}
+	return relayAfterBarrier(c, scope, payload) // want `delivered buffer passed to relayAfterBarrier, which synchronizes before reading it`
+}
+
+func relayAfterBarrier(c Ctx, scope *Machine, b []byte) error {
+	if err := c.Sync(scope, "cross"); err != nil {
+		return err
+	}
+	return consume(b)
+}
+
+// --- well-formed programs ---
+
+// Reads within the delivering superstep are the model working as
+// intended.
+func readInWindow(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "deliver"); err != nil {
+		return err
+	}
+	for _, m := range c.Moves() {
+		if err := consume(m.Payload); err != nil {
+			return err
+		}
+	}
+	return c.Sync(scope, "done")
+}
+
+// Copies and decoded values are fresh storage: function results are
+// presumed to not alias the delivery window.
+func copyOutlivesWindow(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "deliver"); err != nil {
+		return err
+	}
+	var kept []byte
+	var nums []int
+	for _, m := range c.Moves() {
+		kept = append([]byte(nil), m.Payload...)
+		nums = decode(m.Payload)
+	}
+	if err := c.Sync(scope, "next step"); err != nil {
+		return err
+	}
+	_ = nums
+	return consume(kept)
+}
+
+// Arguments of a synchronizing call are read before the callee's
+// internal barrier: passing the live window to a collective-shaped
+// helper is fine when the helper reads it pre-barrier.
+func argReadBeforeCalleeBarrier(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "deliver"); err != nil {
+		return err
+	}
+	var payload []byte
+	for _, m := range c.Moves() {
+		payload = m.Payload
+	}
+	return relayBeforeBarrier(c, scope, payload)
+}
+
+func relayBeforeBarrier(c Ctx, scope *Machine, b []byte) error {
+	if err := consume(b); err != nil {
+		return err
+	}
+	return c.Sync(scope, "after reading")
+}
+
+// The known-unprovable case: two-phase reassembly holds its own piece
+// across the exchange barrier and re-sends it before any writer could
+// touch the bytes — sound by protocol, invisible to the analyzer, so it
+// carries an audited suppression.
+func twoPhaseReassembly(c Ctx, scope *Machine) error {
+	if err := c.Sync(scope, "phase 1"); err != nil {
+		return err
+	}
+	var mine []byte
+	for _, m := range c.Moves() {
+		mine = m.Payload
+	}
+	if err := c.Send(0, 1, mine); err != nil {
+		return err
+	}
+	if err := c.Sync(scope, "phase 2 exchange"); err != nil {
+		return err
+	}
+	return consume(mine) //hbspk:ignore syncflow (audited: the piece was re-sent before any writer could mutate it)
+}
+
+// A directive that excuses nothing is itself a finding: it would mask a
+// future regression on its line.
+func cleanButExcused(c Ctx, scope *Machine) error {
+	return c.Sync(scope, "nothing to excuse") //hbspk:ignore syncflow // want `stale //hbspk:ignore syncflow: the directive suppresses nothing`
+}

@@ -103,7 +103,7 @@ func BcastTwoPhase(c hbsp.Ctx, scope *model.Machine, root int, data []byte, d Di
 	if err := c.Sync(scope, "bcast-2p exchange"); err != nil {
 		return nil, err
 	}
-	pieceBy := map[int][]byte{c.Pid(): mine}
+	pieceBy := map[int][]byte{c.Pid(): mine} //hbspk:ignore syncflow (audited: own piece is re-sent before anyone can mutate it; reassembly needs it across the exchange barrier)
 	for _, m := range c.Moves() {
 		if m.Tag == tagBcastEx {
 			pieceBy[m.Src] = m.Payload
@@ -222,7 +222,7 @@ func BcastHier(c hbsp.Ctx, data []byte, twoPhaseTop bool) ([]byte, error) {
 			return nil, err
 		}
 		if amCoord {
-			pieceBy := map[int][]byte{c.Pid(): mine}
+			pieceBy := map[int][]byte{c.Pid(): mine} //hbspk:ignore syncflow (audited: own piece is re-sent before anyone can mutate it; reassembly needs it across the exchange barrier)
 			for _, msg := range c.Moves() {
 				if msg.Tag == tagBcastEx {
 					pieceBy[msg.Src] = msg.Payload

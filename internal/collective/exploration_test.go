@@ -1,0 +1,302 @@
+package collective
+
+import (
+	"sort"
+	"testing"
+
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+)
+
+// Schedule exploration over every shipped collective: each is replayed
+// under 8 seeded delivery-order permutations with the happens-before
+// checker armed, and must fingerprint identically — the HBSP^k promise
+// that a superstep's outcome is independent of message timing, enforced
+// on the real algorithms.
+
+const exploreP = 6
+
+// saveMap commits a map result under the processor's Save key with a
+// deterministic encoding.
+func saveMap(c hbsp.Ctx, key string, m map[int][]byte) {
+	pids := make([]int, 0, len(m))
+	for pid := range m {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	f := newFrame()
+	for _, pid := range pids {
+		f.add(pid, m[pid])
+	}
+	c.Save(key, f.bytes())
+}
+
+func saveVec(c hbsp.Ctx, key string, v []int64) {
+	if v != nil {
+		c.Save(key, packVec(v))
+	}
+}
+
+func exploreCases(tr *model.Tree) []struct {
+	name string
+	prog hbsp.Program
+} {
+	root := tr.Pid(tr.FastestLeaf())
+	outgoing := func(c hbsp.Ctx) map[int][]byte {
+		out := make(map[int][]byte, c.NProcs())
+		for dst := 0; dst < c.NProcs(); dst++ {
+			out[dst] = []byte{byte(c.Pid()), byte(dst), byte(c.Pid() * dst)}
+		}
+		return out
+	}
+	return []struct {
+		name string
+		prog hbsp.Program
+	}{
+		{"gather", func(c hbsp.Ctx) error {
+			out, err := Gather(c, c.Tree().Root, root, payloadFor(c.Pid(), 8+c.Pid()))
+			if err != nil {
+				return err
+			}
+			if out != nil {
+				saveMap(c, "result", out)
+			}
+			return nil
+		}},
+		{"gather-hier", func(c hbsp.Ctx) error {
+			out, err := GatherHier(c, payloadFor(c.Pid(), 8))
+			if err != nil {
+				return err
+			}
+			if out != nil {
+				saveMap(c, "result", out)
+			}
+			return nil
+		}},
+		{"bcast-one-phase", func(c hbsp.Ctx) error {
+			out, err := BcastOnePhase(c, c.Tree().Root, root, payloadFor(root, 24))
+			if err != nil {
+				return err
+			}
+			c.Save("result", out)
+			return nil
+		}},
+		{"bcast-two-phase", func(c hbsp.Ctx) error {
+			data := payloadFor(root, 48)
+			out, err := BcastTwoPhase(c, c.Tree().Root, root, data, EqualPieces(c, c.Tree().Root, len(data)))
+			if err != nil {
+				return err
+			}
+			c.Save("result", out)
+			return nil
+		}},
+		{"bcast-hier", func(c hbsp.Ctx) error {
+			out, err := BcastHier(c, payloadFor(root, 32), true)
+			if err != nil {
+				return err
+			}
+			c.Save("result", out)
+			return nil
+		}},
+		{"bcast-binomial", func(c hbsp.Ctx) error {
+			out, err := BcastBinomial(c, c.Tree().Root, root, payloadFor(root, 16))
+			if err != nil {
+				return err
+			}
+			c.Save("result", out)
+			return nil
+		}},
+		{"scatter", func(c hbsp.Ctx) error {
+			var pieces map[int][]byte
+			if c.Pid() == root {
+				pieces = make(map[int][]byte)
+				for pid := 0; pid < c.NProcs(); pid++ {
+					pieces[pid] = payloadFor(pid, 6)
+				}
+			}
+			out, err := Scatter(c, c.Tree().Root, root, pieces)
+			if err != nil {
+				return err
+			}
+			c.Save("result", out)
+			return nil
+		}},
+		{"allgather", func(c hbsp.Ctx) error {
+			out, err := AllGather(c, c.Tree().Root, payloadFor(c.Pid(), 5))
+			if err != nil {
+				return err
+			}
+			saveMap(c, "result", out)
+			return nil
+		}},
+		{"allgather-hier", func(c hbsp.Ctx) error {
+			out, err := AllGatherHier(c, payloadFor(c.Pid(), 5))
+			if err != nil {
+				return err
+			}
+			saveMap(c, "result", out)
+			return nil
+		}},
+		{"total-exchange", func(c hbsp.Ctx) error {
+			out, err := TotalExchange(c, c.Tree().Root, outgoing(c))
+			if err != nil {
+				return err
+			}
+			saveMap(c, "result", out)
+			return nil
+		}},
+		{"total-exchange-hier", func(c hbsp.Ctx) error {
+			out, err := TotalExchangeHier(c, outgoing(c))
+			if err != nil {
+				return err
+			}
+			saveMap(c, "result", out)
+			return nil
+		}},
+		{"reduce", func(c hbsp.Ctx) error {
+			out, err := Reduce(c, c.Tree().Root, root, vecFor(c.Pid()), Sum)
+			if err != nil {
+				return err
+			}
+			saveVec(c, "result", out)
+			return nil
+		}},
+		{"reduce-hier", func(c hbsp.Ctx) error {
+			out, err := ReduceHier(c, vecFor(c.Pid()), Sum)
+			if err != nil {
+				return err
+			}
+			saveVec(c, "result", out)
+			return nil
+		}},
+		{"allreduce", func(c hbsp.Ctx) error {
+			out, err := AllReduce(c, vecFor(c.Pid()), Sum)
+			if err != nil {
+				return err
+			}
+			saveVec(c, "result", out)
+			return nil
+		}},
+		{"scan", func(c hbsp.Ctx) error {
+			out, err := Scan(c, c.Tree().Root, vecFor(c.Pid()), Sum)
+			if err != nil {
+				return err
+			}
+			saveVec(c, "result", out)
+			return nil
+		}},
+		{"scan-hier", func(c hbsp.Ctx) error {
+			out, err := ScanHier(c, vecFor(c.Pid()), Sum)
+			if err != nil {
+				return err
+			}
+			saveVec(c, "result", out)
+			return nil
+		}},
+		{"reduce-scatter", func(c hbsp.Ctx) error {
+			local := []int64{int64(c.Pid()), 10, 20, 30, 40, int64(c.Pid() * 2)}
+			out, err := ReduceScatter(c, c.Tree().Root, local, EqualPieces(c, c.Tree().Root, len(local)), Sum)
+			if err != nil {
+				return err
+			}
+			saveVec(c, "result", out)
+			return nil
+		}},
+	}
+}
+
+func TestCollectivesPassScheduleExploration(t *testing.T) {
+	tr := model.UCFTestbedN(exploreP)
+	for _, tc := range exploreCases(tr) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := hbsp.NewVirtual(tr, fabric.New(tr, fabric.PureModel()))
+			eng.Verify = true
+			set, err := eng.RunSchedules(tc.prog, 8, 1234)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range set.Runs {
+				if r.Err != nil {
+					t.Fatalf("perm %d: %v", r.Perm, r.Err)
+				}
+			}
+			if !set.Agree() {
+				t.Errorf("schedule-dependent result: %s", set.Diff())
+			}
+		})
+	}
+}
+
+// Exploration composes with chaos: message fates hash message
+// identities, not delivery order, so a faulted run must still be
+// schedule-independent.
+func TestExplorationUnderChaosAgrees(t *testing.T) {
+	tr := model.UCFTestbedN(exploreP)
+	root := tr.Pid(tr.FastestLeaf())
+	eng := hbsp.NewVirtual(tr, fabric.New(tr, fabric.PureModel()))
+	eng.Chaos = &fabric.ChaosPlan{Seed: 99, Drop: 0.15, Duplicate: 0.1}
+	prog := func(c hbsp.Ctx) error {
+		out, err := Gather(c, c.Tree().Root, root, payloadFor(c.Pid(), 8))
+		if err != nil {
+			return err
+		}
+		if out != nil {
+			saveMap(c, "result", out)
+		}
+		return nil
+	}
+	set, err := eng.RunSchedules(prog, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Agree() {
+		t.Errorf("chaos-faulted gather became schedule-dependent: %s", set.Diff())
+	}
+}
+
+func TestOrderRecorderCertifiesShippedOps(t *testing.T) {
+	tr := model.UCFTestbedN(exploreP)
+	root := tr.Pid(tr.FastestLeaf())
+	for _, op := range []Op{Sum, Max, Min} {
+		rec := NewOrderRecorder()
+		audited := op.Recorded(rec)
+		_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+			if _, err := Reduce(c, c.Tree().Root, root, vecFor(c.Pid()), audited); err != nil {
+				return err
+			}
+			_, err := ReduceHier(c, vecFor(c.Pid()), audited)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name, err)
+		}
+		if rec.Folds() == 0 {
+			t.Fatalf("%s: recorder saw no folds", op.Name)
+		}
+		if err := rec.Check(op); err != nil {
+			t.Errorf("%s: %v", op.Name, err)
+		}
+	}
+}
+
+func TestOrderRecorderFlagsOrderDependentOp(t *testing.T) {
+	tr := model.UCFTestbedN(exploreP)
+	root := tr.Pid(tr.FastestLeaf())
+	// A plain subtraction fold is order-independent (acc - Σ operands);
+	// doubling the accumulator first makes each operand's weight depend
+	// on its position, a genuinely order-dependent fold.
+	sub := Op{Name: "sub", Apply: func(a, b int64) int64 { return a*2 - b }, Cost: 0.05}
+	rec := NewOrderRecorder()
+	_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
+		_, err := Reduce(c, c.Tree().Root, root, vecFor(c.Pid()), sub.Recorded(rec))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Check(sub); err == nil {
+		t.Error("non-commutative fold passed the order audit")
+	}
+}

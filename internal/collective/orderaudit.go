@@ -1,0 +1,158 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OrderRecorder audits delivery-order independence (DESIGN.md §5.3):
+// attached to an Op with Recorded, it captures every fold the op
+// performs — the accumulator's starting value and each operand in the
+// order the collective combined it — and Check replays those folds
+// under reversed and seeded-shuffled operand orders. A collective is
+// only correct under the HBSP^k model if its result does not depend on
+// the order messages happened to be folded in; a divergent replay names
+// the offending fold.
+//
+// The recorder is safe for concurrent use: the Concurrent engine folds
+// at several subtree coordinators in parallel.
+type OrderRecorder struct {
+	mu    sync.Mutex
+	folds []*foldRec
+	open  map[int]*foldRec
+}
+
+// NewOrderRecorder returns an empty recorder.
+func NewOrderRecorder() *OrderRecorder {
+	return &OrderRecorder{open: make(map[int]*foldRec)}
+}
+
+// foldRec is one accumulator's life: its initial value and the operand
+// vectors combined into it, in combining order. cur tracks the
+// recorded-order running value so a follow-up combine on the same
+// accumulator extends the fold and anything else starts a new one.
+type foldRec struct {
+	pid  int
+	op   string
+	init []int64
+	args [][]int64
+	cur  []int64
+}
+
+func cloneVec(v []int64) []int64 { return append([]int64(nil), v...) }
+
+func eqVec(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// observe records one combine of src into dst by pid, called by
+// Op.combine before it mutates dst.
+func (r *OrderRecorder) observe(pid int, op Op, dst, src []int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.open[pid]
+	if f == nil || f.op != op.Name || !eqVec(f.cur, dst) {
+		f = &foldRec{pid: pid, op: op.Name, init: cloneVec(dst), cur: cloneVec(dst)}
+		r.folds = append(r.folds, f)
+		r.open[pid] = f
+	}
+	f.args = append(f.args, cloneVec(src))
+	for i := range f.cur {
+		if i < len(src) {
+			f.cur[i] = op.Apply(f.cur[i], src[i])
+		}
+	}
+}
+
+// Folds returns the number of recorded folds.
+func (r *OrderRecorder) Folds() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.folds)
+}
+
+// Check replays every recorded fold with at least two operands under
+// the reversed and three seeded-shuffled operand orders and returns an
+// error naming the first fold whose result changed — proof the
+// collective's outcome depends on delivery order. A nil return
+// certifies order independence on the recorded data.
+func (r *OrderRecorder) Check(op Op) error {
+	r.mu.Lock()
+	folds := append([]*foldRec(nil), r.folds...)
+	r.mu.Unlock()
+	for i, f := range folds {
+		if f.op != op.Name {
+			return fmt.Errorf("collective: fold %d recorded op %q, checking %q", i, f.op, op.Name)
+		}
+		if len(f.args) < 2 {
+			continue
+		}
+		want := replayFold(op, f.init, f.args, nil)
+		orders := [][]int{reversedOrder(len(f.args))}
+		for seed := uint64(1); seed <= 3; seed++ {
+			orders = append(orders, shuffledOrder(len(f.args), seed))
+		}
+		for _, order := range orders {
+			if got := replayFold(op, f.init, f.args, order); !eqVec(got, want) {
+				return fmt.Errorf("collective: op %q is delivery-order dependent: fold %d at p%d over %d operands gives %v in recorded order but %v reordered",
+					op.Name, i, f.pid, len(f.args), want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// replayFold folds args into init in the given order (nil = recorded).
+func replayFold(op Op, init []int64, args [][]int64, order []int) []int64 {
+	acc := cloneVec(init)
+	for i := range args {
+		src := args[i]
+		if order != nil {
+			src = args[order[i]]
+		}
+		for j := range acc {
+			if j < len(src) {
+				acc[j] = op.Apply(acc[j], src[j])
+			}
+		}
+	}
+	return acc
+}
+
+func reversedOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+// shuffledOrder is a seeded splitmix64-driven Fisher–Yates permutation,
+// deterministic per (n, seed).
+func shuffledOrder(n int, seed uint64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	state := seed*0x9E3779B97F4A7C15 + 1
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

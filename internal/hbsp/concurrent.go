@@ -3,6 +3,7 @@ package hbsp
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -64,6 +65,15 @@ type Concurrent struct {
 	// detection does not need it, it exists to model partitions.
 	DetectFactor float64
 
+	// Verify enables the happens-before checker (DESIGN.md §5.3): every
+	// message carries the sender's vector clock and a payload checksum
+	// on the wire, clocks join at every barrier via a deposit exchange,
+	// and a read without a barrier edge from its send — or a payload
+	// that changed after Send — fails the processor with a typed
+	// *ErrNondeterminism. Stamping is charged nothing: verification is
+	// a harness, not part of the modeled protocol.
+	Verify bool
+
 	// Ckpt and CheckpointEvery enable superstep checkpointing, with the
 	// same cadence and store semantics as the virtual engine: at every
 	// CheckpointEvery-th completed global superstep each processor's
@@ -104,6 +114,12 @@ type cctx struct {
 
 	failedView []int
 	ckptStage  map[string][]byte
+
+	// Verification state: this processor's vector clock, the metadata of
+	// the current delivery window, and the count of completed syncs.
+	vc     VClock
+	inmeta []msgMeta
+	steps  int
 
 	shared *crun
 }
@@ -504,7 +520,12 @@ func (c *cctx) Send(dst, tag int, payload []byte) error {
 		return fmt.Errorf("hbsp: send to pid %d of %d", dst, c.NProcs())
 	}
 	c.seq++
-	c.outbox = append(c.outbox, pendingMsg{src: c.pid, dst: dst, tag: tag, payload: payload, seq: c.seq})
+	m := pendingMsg{src: c.pid, dst: dst, tag: tag, payload: payload, seq: c.seq}
+	if c.eng.Verify {
+		m.stamp = c.vc.clone()
+		m.sum = payloadSum(payload)
+	}
+	c.outbox = append(c.outbox, m)
 	return nil
 }
 
@@ -525,6 +546,14 @@ func (c *cctx) wireTag(scope *model.Machine, gen, userTag int) int {
 func (c *cctx) Sync(scope *model.Machine, label string) error {
 	if scope == nil {
 		return errors.New("hbsp: Sync with nil scope")
+	}
+	if c.eng.Verify {
+		// The closing barrier ends the window in which this superstep was
+		// entitled to read its inbox: the payloads must still hash to
+		// their delivery stamps.
+		if e := recheckWindow(c.pid, c.steps, c.inbox, c.inmeta); e != nil {
+			return e
+		}
 	}
 	ord := c.ord
 	c.ord++
@@ -586,6 +615,10 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 			buf := pvm.NewBuffer()
 			buf.PackInt32(int32(m.src), int32(m.tag))
 			buf.PackBytes(m.payload)
+			if c.eng.Verify {
+				buf.PackInt64(int64(m.sum))
+				buf.PackInt64Slice(m.stamp.encodeInt64())
+			}
 			if err := c.task.Send(c.tids[m.dst], c.wireTag(scope, gen, 0), buf); err != nil {
 				return err
 			}
@@ -611,7 +644,16 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		return &ErrPeerFailed{Pid: deadPid, Step: info.step, Cause: info.cause}
 	}
 	deadline := c.shared.barrierDeadline(c.pid, c.eng.DetectFactor)
-	err := c.task.BarrierTimeout(wait.barrier, count, deadline)
+	var err error
+	var deposits map[pvm.TID][]byte
+	if c.eng.Verify {
+		// Barriers double as the clock-join: every participant deposits
+		// its vector clock and gathers the others' on completion.
+		dep := pvm.NewBuffer().PackInt64Slice(c.vc.encodeInt64()).Bytes()
+		deposits, err = c.task.BarrierExchange(wait.barrier, count, deadline, dep)
+	} else {
+		err = c.task.BarrierTimeout(wait.barrier, count, deadline)
+	}
 	c.shared.leaveSync(c.pid, time.Since(c.shared.started)-start)
 	if err != nil {
 		switch {
@@ -638,9 +680,22 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		return err
 	}
 
+	c.steps++
+	if c.eng.Verify {
+		for _, raw := range deposits {
+			vs, derr := pvm.Wrap(raw).UnpackInt64Slice()
+			if derr != nil {
+				return derr
+			}
+			c.vc.join(decodeVClock(vs))
+		}
+		c.vc.tick(c.pid)
+	}
+
 	// All sends of this (scope, gen) happened before any barrier exit,
 	// so the mailbox now holds the complete delivery.
 	c.inbox = c.inbox[:0]
+	c.inmeta = c.inmeta[:0]
 	recvBytes := 0
 	var seqs []int
 	for {
@@ -661,11 +716,45 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		if err != nil {
 			return err
 		}
+		if c.eng.Verify {
+			sum, err := b.UnpackInt64()
+			if err != nil {
+				return err
+			}
+			stamp, err := b.UnpackInt64Slice()
+			if err != nil {
+				return err
+			}
+			c.inmeta = append(c.inmeta, msgMeta{src: int(src), tag: int(tag),
+				stamp: decodeVClock(stamp), sum: uint64(sum)})
+		}
 		c.inbox = append(c.inbox, Message{Src: int(src), Tag: int(tag), Payload: payload})
 		seqs = append(seqs, len(seqs))
 		recvBytes += len(payload)
 	}
-	sortMessages(c.inbox, seqs)
+	if c.eng.Verify {
+		// Sort inbox and metadata through one index permutation so the
+		// stamps stay aligned with their messages, then run the
+		// happens-before and checksum checks on the delivered window.
+		idx := make([]int, len(c.inbox))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return c.inbox[idx[a]].Src < c.inbox[idx[b]].Src })
+		inbox := make([]Message, len(c.inbox))
+		metas := make([]msgMeta, len(c.inbox))
+		for i, j := range idx {
+			inbox[i], metas[i] = c.inbox[j], c.inmeta[j]
+		}
+		c.inbox, c.inmeta = inbox, metas
+		for i, m := range c.inbox {
+			if e := checkDelivery(c.pid, c.steps, m, c.inmeta[i], c.vc); e != nil {
+				return e
+			}
+		}
+	} else {
+		sortMessages(c.inbox, seqs)
+	}
 
 	// Checkpoint commit at the global cadence, mirroring the virtual
 	// engine's consistent cut: gen+1 completed global supersteps.
@@ -767,6 +856,9 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 				syncSeq: make(map[*model.Machine]int),
 				shared:  shared,
 			}
+			if e.Verify {
+				c.vc = newVClock(p)
+			}
 			err := prog(c)
 			if errors.Is(err, errCrashStop) {
 				// The victim's own crash is the experiment, not a
@@ -782,9 +874,17 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
 	// The watchdog's structured report beats the per-task ErrHalted noise
-	// its Halt produced.
+	// its Halt produced — but a nondeterminism verdict is the root cause
+	// when a processor failed verification and left its peers stranded.
 	if shared.desync != nil {
 		err = shared.desync
+		for _, taskErr := range sys.Errors() {
+			var nd *ErrNondeterminism
+			if errors.As(taskErr, &nd) {
+				err = taskErr
+				break
+			}
+		}
 	}
 	total := float64(time.Since(shared.started)) / float64(time.Microsecond)
 	return &trace.Report{Steps: shared.steps, Total: total}, err

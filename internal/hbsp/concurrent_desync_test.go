@@ -34,7 +34,7 @@ func TestConcurrentDesyncExitedMember(t *testing.T) {
 		if ctx.Pid() == 1 {
 			return nil // p1 exits without ever syncing
 		}
-		return ctx.Sync(tree.Root, "step") //hbspk:ignore syncdiscipline (deliberate desync under test)
+		return ctx.Sync(tree.Root, "step")
 	})
 	if !errors.Is(err, ErrDesync) {
 		t.Fatalf("Run = %v, want ErrDesync", err)
@@ -76,7 +76,7 @@ func TestConcurrentDesyncStalledBarriers(t *testing.T) {
 			}
 		}
 		// p0 never reaches this root sync.
-		return ctx.Sync(tree.Root, "step") //hbspk:ignore syncdiscipline
+		return ctx.Sync(tree.Root, "step")
 	})
 	if !errors.Is(err, ErrDesync) {
 		t.Fatalf("Run = %v, want ErrDesync", err)

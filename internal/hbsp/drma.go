@@ -151,7 +151,7 @@ func DRMASync(c Ctx, scope ScopeMachine, label string) (map[int][][]byte, error)
 			snapshot := append([]byte(nil), r.mem[offset:offset+length]...)
 			rep := newDRMAFrame(name, offset)
 			rep.payload(snapshot)
-			if err := c.Send(m.Src, tagDRMAGetRep, rep.bytes()); err != nil {
+			if err := c.Send(m.Src, tagDRMAGetRep, rep.bytes()); err != nil { //hbspk:ignore commgraph (protocol: get replies are delivered by the next DRMASync of the caller)
 				return nil, err
 			}
 		case tagDRMAGetRep:

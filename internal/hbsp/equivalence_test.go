@@ -100,6 +100,125 @@ func TestPropertyEnginesDeliverIdentically(t *testing.T) {
 	}
 }
 
+// permCollectives are minimal gather/bcast/reduce shapes (the package
+// cannot import internal/collective without a cycle); each program
+// writes pid's final observation into digests[pid] and Saves it so
+// schedule fingerprints cover the result.
+func permCollectives(root int, digests [][]byte) map[string]Program {
+	finish := func(c Ctx, digest []byte) error {
+		digests[c.Pid()] = digest
+		c.Save("out", digest)
+		return nil
+	}
+	return map[string]Program{
+		"gather": func(c Ctx) error {
+			if c.Pid() != root {
+				if err := c.Send(root, 1, []byte{byte(c.Pid()), byte(c.Pid() * 3)}); err != nil {
+					return err
+				}
+			}
+			if err := SyncAll(c, "gather"); err != nil {
+				return err
+			}
+			// Key by source like the real collectives do: exploration
+			// shuffles Moves order on purpose, so concatenating in
+			// arrival order would (correctly) be flagged as
+			// schedule-dependent.
+			bySrc := make(map[int][]byte)
+			for _, m := range c.Moves() {
+				bySrc[m.Src] = m.Payload
+			}
+			var digest []byte
+			for src := 0; src < c.NProcs(); src++ {
+				if p, ok := bySrc[src]; ok {
+					digest = append(digest, byte(src), p[0], p[1])
+				}
+			}
+			return finish(c, digest)
+		},
+		"bcast": func(c Ctx) error {
+			if c.Pid() == root {
+				for dst := 0; dst < c.NProcs(); dst++ {
+					if dst == root {
+						continue
+					}
+					if err := c.Send(dst, 2, []byte{0xB0, byte(dst)}); err != nil {
+						return err
+					}
+				}
+			}
+			if err := SyncAll(c, "bcast"); err != nil {
+				return err
+			}
+			var digest []byte
+			for _, m := range c.Moves() {
+				digest = append(digest, byte(m.Src), m.Payload[0], m.Payload[1])
+			}
+			return finish(c, digest)
+		},
+		"reduce": func(c Ctx) error {
+			if c.Pid() != root {
+				if err := c.Send(root, 3, []byte{byte(c.Pid() + 1)}); err != nil {
+					return err
+				}
+			}
+			if err := SyncAll(c, "reduce"); err != nil {
+				return err
+			}
+			var digest []byte
+			if c.Pid() == root {
+				sum := 0
+				for _, m := range c.Moves() {
+					sum += int(m.Payload[0])
+				}
+				digest = []byte{byte(sum)}
+			}
+			return finish(c, digest)
+		},
+	}
+}
+
+// The satellite equivalence bar: every mini-collective must produce the
+// same final state on the Virtual engine under 8 seeded delivery-order
+// permutations AND on the Concurrent engine, with verification armed on
+// both.
+func TestEnginesAgreeUnderSchedulePermutations(t *testing.T) {
+	tr := model.UCFTestbedN(6)
+	root := tr.Pid(tr.FastestLeaf())
+	p := tr.NProcs()
+	for _, name := range []string{"gather", "bcast", "reduce"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			virt := make([][]byte, p)
+			veng := NewVirtual(tr, fabric.New(tr, fabric.PureModel()))
+			veng.Verify = true
+			set, err := veng.RunSchedules(permCollectives(root, virt)[name], 8, 2024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range set.Runs {
+				if r.Err != nil {
+					t.Fatalf("perm %d: %v", r.Perm, r.Err)
+				}
+			}
+			if !set.Agree() {
+				t.Fatalf("virtual engine schedule-dependent: %s", set.Diff())
+			}
+			conc := make([][]byte, p)
+			ceng := NewConcurrent(tr)
+			ceng.Verify = true
+			if _, err := ceng.Run(permCollectives(root, conc)[name]); err != nil {
+				t.Fatal(err)
+			}
+			for pid := 0; pid < p; pid++ {
+				if !bytes.Equal(virt[pid], conc[pid]) {
+					t.Errorf("p%d: virtual %x vs concurrent %x", pid, virt[pid], conc[pid])
+				}
+			}
+		})
+	}
+}
+
 func TestPropertyVirtualDeterministicOverSchedules(t *testing.T) {
 	f := func(seed int64) bool {
 		tr := model.UCFTestbedN(5)

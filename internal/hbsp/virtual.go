@@ -50,10 +50,27 @@ type Virtual struct {
 	Ckpt            *CheckpointStore
 	CheckpointEvery int
 
+	// Verify arms the happens-before checker (DESIGN.md §5.3): every
+	// message carries the sender's vector clock and a payload checksum,
+	// barriers join clocks, and a read that is not ordered after its
+	// send — or a payload that changed under a reader — surfaces as a
+	// typed *ErrNondeterminism. Stamping is charged zero cost.
+	Verify bool
+
 	// inboxes stages delivered messages per pid between the engine's
 	// completeStep and the owning processor's pickup after resume; the
-	// resume channel orders the handoff.
+	// resume channel orders the handoff. inmetas carries the parallel
+	// verification records when Verify is set.
 	inboxes [][]Message
+	inmetas [][]msgMeta
+
+	// Schedule-exploration state, driven by RunSchedules: permIndex 0
+	// replays the canonical (src, seq) delivery order, higher indexes a
+	// seeded permutation of each superstep's deliveries. rec, when
+	// non-nil, records the run's observable state for fingerprinting.
+	permIndex int
+	permSeed  int64
+	rec       *runRecord
 }
 
 // ErrStepLimit reports that a run exceeded the engine's MaxSteps.
@@ -93,6 +110,11 @@ type pendingMsg struct {
 	fated     bool
 	drop, dup bool
 	holdUntil int
+
+	// Verification stamp: the sender's vector clock and payload
+	// checksum at Send time (Verify mode only).
+	stamp VClock
+	sum   uint64
 }
 
 type vrequest struct {
@@ -129,6 +151,13 @@ type vctx struct {
 	failedView []int
 	// ckptStage holds Save()d state until the next Sync ships it.
 	ckptStage map[string][]byte
+
+	// Verification state (Verify mode): vc is this processor's vector
+	// clock, written by the engine while the processor is parked;
+	// inmeta parallels inbox; steps counts completed Syncs.
+	vc     VClock
+	inmeta []msgMeta
+	steps  int
 }
 
 func (c *vctx) Pid() int             { return c.pid }
@@ -163,13 +192,25 @@ func (c *vctx) Send(dst, tag int, payload []byte) error {
 		return fmt.Errorf("hbsp: send to pid %d of %d", dst, c.NProcs())
 	}
 	c.seq++
-	c.outbox = append(c.outbox, pendingMsg{src: c.pid, dst: dst, tag: tag, payload: payload, seq: c.seq})
+	m := pendingMsg{src: c.pid, dst: dst, tag: tag, payload: payload, seq: c.seq}
+	if c.eng.Verify {
+		m.stamp = c.vc.clone()
+		m.sum = payloadSum(payload)
+	}
+	c.outbox = append(c.outbox, m)
 	return nil
 }
 
 func (c *vctx) Sync(scope *model.Machine, label string) error {
 	if scope == nil {
 		return errors.New("hbsp: Sync with nil scope")
+	}
+	if c.eng.Verify {
+		// The closing barrier ends this superstep's read window: the
+		// delivered payloads must still be the bytes that arrived.
+		if nd := recheckWindow(c.pid, c.steps, c.inbox, c.inmeta); nd != nil {
+			return nd
+		}
 	}
 	req := &vrequest{
 		pid: c.pid, kind: 's', scope: scope, label: label,
@@ -183,7 +224,18 @@ func (c *vctx) Sync(scope *model.Machine, label string) error {
 	if err != nil {
 		return err
 	}
-	c.inbox = c.eng.takeInbox(c.pid)
+	c.steps++
+	c.inbox, c.inmeta = c.eng.takeInbox(c.pid)
+	if c.eng.Verify {
+		for i, m := range c.inbox {
+			if i >= len(c.inmeta) {
+				break
+			}
+			if nd := checkDelivery(c.pid, c.steps, m, c.inmeta[i], c.vc); nd != nil {
+				return nd
+			}
+		}
+	}
 	return nil
 }
 
@@ -207,6 +259,12 @@ func (v *Virtual) Run(prog Program) (*trace.Report, error) {
 		}
 	}
 	v.inboxes = make([][]Message, p)
+	v.inmetas = make([][]msgMeta, p)
+	if v.Verify {
+		for pid := 0; pid < p; pid++ {
+			ctxs[pid].vc = newVClock(p)
+		}
+	}
 	for pid := 0; pid < p; pid++ {
 		go func(c *vctx) {
 			var err error
@@ -216,7 +274,9 @@ func (v *Virtual) Run(prog Program) (*trace.Report, error) {
 				}
 				// Work charged after the last sync is a trailing
 				// compute-only step: it extends this processor's clock.
-				reqs <- &vrequest{pid: c.pid, kind: 'd', err: err, work: c.work}
+				// Saves staged after the last sync still ride along so
+				// the run's final state stays observable.
+				reqs <- &vrequest{pid: c.pid, kind: 'd', err: err, work: c.work, saves: c.ckptStage}
 			}()
 			err = prog(c)
 		}(ctxs[pid])
@@ -260,10 +320,11 @@ type runState struct {
 }
 
 // inboxes staged for pickup by vctx.Sync after resume.
-func (v *Virtual) takeInbox(pid int) []Message {
-	in := v.inboxes[pid]
+func (v *Virtual) takeInbox(pid int) ([]Message, []msgMeta) {
+	in, meta := v.inboxes[pid], v.inmetas[pid]
 	v.inboxes[pid] = nil
-	return in
+	v.inmetas[pid] = nil
+	return in, meta
 }
 
 func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, error) {
@@ -287,6 +348,7 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 		case 'd':
 			st.done[req.pid] = true
 			st.clocks[req.pid] += req.work
+			v.stageSaves(st, req.pid, req.saves)
 			running--
 			if req.err != nil && st.firstErr == nil && !errors.Is(req.err, errCrashStop) {
 				st.firstErr = req.err
@@ -294,7 +356,7 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 		case 's':
 			v.handleSync(st, ctxs, req)
 		}
-		v.release(st)
+		v.release(st, ctxs)
 		if v.MaxSteps > 0 && len(st.steps) >= v.MaxSteps && st.firstErr == nil {
 			st.firstErr = fmt.Errorf("%w: %d supersteps completed", ErrStepLimit, len(st.steps))
 		}
@@ -339,14 +401,7 @@ func (v *Virtual) handleSync(st *runState, ctxs []*vctx, req *vrequest) {
 	st.syncOrd[pid]++
 	// Checkpoint saves ride every sync request, even one about to fail:
 	// they are program state, not step data.
-	if len(req.saves) > 0 {
-		if st.staged[pid] == nil {
-			st.staged[pid] = make(map[string][]byte)
-		}
-		for k, b := range req.saves {
-			st.staged[pid][k] = b
-		}
-	}
+	v.stageSaves(st, pid, req.saves)
 
 	if st.dead[pid] != nil {
 		// A dead processor's program swallowed the crash error and
@@ -363,6 +418,24 @@ func (v *Virtual) handleSync(st *runState, ctxs []*vctx, req *vrequest) {
 		return
 	}
 	st.pending[pid] = req
+}
+
+// stageSaves folds one processor's Save()d state into the run's staging
+// area (awaiting a checkpoint commit boundary) and, when a schedule
+// recorder is attached, into the run's observable final state.
+func (v *Virtual) stageSaves(st *runState, pid int, saves map[string][]byte) {
+	if len(saves) == 0 {
+		return
+	}
+	if st.staged[pid] == nil {
+		st.staged[pid] = make(map[string][]byte)
+	}
+	for k, b := range saves {
+		st.staged[pid][k] = b
+	}
+	if v.rec != nil {
+		v.rec.noteSaves(pid, saves)
+	}
 }
 
 // crash marks the requester dead, discards its outbox (crash-stop loses
@@ -510,7 +583,7 @@ func (v *Virtual) desyncError(st *runState) error {
 // on it. Dead processors are excluded: their failure has already been
 // acknowledged by every pending member (failSyncReq guarantees a
 // processor only parks on a scope whose dead members it has acked).
-func (v *Virtual) release(st *runState) {
+func (v *Virtual) release(st *runState, ctxs []*vctx) {
 	seen := map[*model.Machine]bool{}
 	for pid := range st.pending {
 		r := st.pending[pid]
@@ -533,14 +606,14 @@ func (v *Virtual) release(st *runState) {
 			}
 		}
 		if ready && live > 0 {
-			v.completeStep(st, r.scope, leaves)
+			v.completeStep(st, ctxs, r.scope, leaves)
 		}
 	}
 }
 
 // completeStep charges and finishes one super^i-step over the scope's
 // live participants.
-func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*model.Machine) {
+func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine, leaves []*model.Machine) {
 	var pids []int
 	inScope := make(map[int]bool, len(leaves))
 	for _, l := range leaves {
@@ -615,20 +688,55 @@ func (v *Virtual) completeStep(st *runState, scope *model.Machine, leaves []*mod
 		st.stepN[pid]++
 	}
 
-	// Stage inboxes in sender/seq order.
-	sort.SliceStable(deliver, func(a, b int) bool {
-		if deliver[a].src != deliver[b].src {
-			return deliver[a].src < deliver[b].src
+	// Stage inboxes in sender/seq order — except under schedule
+	// exploration, where permutation index > 0 replaces the canonical
+	// order with a seeded shuffle (deliberately weaker than the model's
+	// sorted-delivery guarantee, to surface order-dependent programs).
+	if v.permIndex > 0 {
+		shuffleDeliver(deliver, v.permSeed, v.permIndex, stepIdx)
+	} else {
+		sort.SliceStable(deliver, func(a, b int) bool {
+			if deliver[a].src != deliver[b].src {
+				return deliver[a].src < deliver[b].src
+			}
+			return deliver[a].seq < deliver[b].seq
+		})
+	}
+
+	// Barrier edges for the happens-before checker: every participant's
+	// post-barrier clock is the join of all participants' clocks, plus
+	// its own local event.
+	if v.Verify {
+		merged := newVClock(len(ctxs))
+		for _, pid := range pids {
+			merged.join(ctxs[pid].vc)
 		}
-		return deliver[a].seq < deliver[b].seq
-	})
+		for _, pid := range pids {
+			vc := merged.clone()
+			vc.tick(pid)
+			ctxs[pid].vc = vc
+		}
+	}
+
 	for _, m := range deliver {
 		if m.drop {
 			continue
 		}
-		v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
+		copies := 1
 		if m.dup {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
 			v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
+			if v.Verify {
+				v.inmetas[m.dst] = append(v.inmetas[m.dst],
+					msgMeta{src: m.src, tag: m.tag, stamp: m.stamp, sum: m.sum})
+			}
+			if v.rec != nil {
+				v.rec.noteDelivery(m.dst, deliveryRec{
+					step: stepIdx, src: m.src, tag: m.tag, n: len(m.payload), sum: payloadSum(m.payload),
+				})
+			}
 		}
 	}
 

@@ -286,6 +286,78 @@ func TestBarrierReusableAcrossGenerations(t *testing.T) {
 	}
 }
 
+func TestBarrierExchangeGathersDeposits(t *testing.T) {
+	s := NewSystem()
+	const n, rounds = 4, 3
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("t%d", i), func(tk *Task) error {
+			for r := 0; r < rounds; r++ {
+				got, err := tk.BarrierExchange("x", n, 0, []byte{byte(i), byte(r)})
+				if err != nil {
+					return err
+				}
+				if len(got) != n {
+					return fmt.Errorf("round %d: %d deposits, want %d", r, len(got), n)
+				}
+				seen := make(map[byte]bool)
+				for tid, b := range got {
+					if len(b) != 2 || b[1] != byte(r) {
+						return fmt.Errorf("round %d: deposit from %d = %v", r, tid, b)
+					}
+					seen[b[0]] = true
+				}
+				if len(seen) != n {
+					return fmt.Errorf("round %d: deposits from %d distinct tasks, want %d", r, len(seen), n)
+				}
+			}
+			return nil
+		})
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierExchangeTimeoutWithdrawsDeposit(t *testing.T) {
+	s := NewSystem()
+	release := make(chan struct{})
+	s.Spawn("early", func(tk *Task) error {
+		// First arrival times out and must take its deposit with it.
+		if _, err := tk.BarrierExchange("w", 2, 20*time.Millisecond, []byte("stale")); !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("first arrival err = %v, want ErrTimeout", err)
+		}
+		close(release)
+		got, err := tk.BarrierExchange("w", 2, 0, []byte("fresh"))
+		if err != nil {
+			return err
+		}
+		for _, b := range got {
+			if string(b) == "stale" {
+				return errors.New("withdrawn deposit leaked into the completed round")
+			}
+		}
+		if len(got) != 2 {
+			return fmt.Errorf("%d deposits, want 2", len(got))
+		}
+		return nil
+	})
+	s.Spawn("late", func(tk *Task) error {
+		<-release
+		got, err := tk.BarrierExchange("w", 2, 0, []byte("peer"))
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 {
+			return fmt.Errorf("%d deposits, want 2", len(got))
+		}
+		return nil
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSendToUnknownTask(t *testing.T) {
 	s := NewSystem()
 	s.Spawn("t", func(t *Task) error {

@@ -334,6 +334,32 @@ type barrier struct {
 	gen      int
 	halted   bool
 	canceled bool
+	// deposits collects the current generation's BarrierExchange
+	// payloads; on completion they move into results keyed by the
+	// generation they belong to, reference-counted so late wakers of an
+	// already-recycled barrier still find their round's data.
+	deposits map[TID][]byte
+	results  map[int]*barrierResult
+}
+
+type barrierResult struct {
+	data    map[TID][]byte
+	readers int
+}
+
+// takeResult hands one waiter its generation's gathered deposits,
+// freeing the round once every participant has collected. Caller holds
+// b.mu.
+func (b *barrier) takeResult(gen int) map[TID][]byte {
+	r := b.results[gen]
+	if r == nil {
+		return nil
+	}
+	r.readers--
+	if r.readers <= 0 {
+		delete(b.results, gen)
+	}
+	return r.data
 }
 
 // Barrier blocks until count tasks have entered the named barrier
@@ -349,14 +375,27 @@ func (t *Task) Barrier(name string, count int) error {
 // CancelBarrier returns ErrCanceled to every waiter and every
 // subsequent arrival.
 func (t *Task) BarrierTimeout(name string, count int, d time.Duration) error {
+	_, err := t.BarrierExchange(name, count, d, nil)
+	return err
+}
+
+// BarrierExchange is BarrierTimeout with an all-gather bolted on: each
+// participant deposits a byte slice on arrival and, when the barrier
+// completes, receives every participant's deposit keyed by TID. The
+// verification layer uses it to join vector clocks at barriers without
+// a second round of messaging. Deposits are copied on entry, so the
+// caller may reuse its buffer immediately. A withdrawn (timed-out)
+// arrival takes its deposit with it; CancelBarrier discards the
+// pending round's deposits.
+func (t *Task) BarrierExchange(name string, count int, d time.Duration, deposit []byte) (map[TID][]byte, error) {
 	if count <= 0 {
-		return fmt.Errorf("pvm: barrier %q with count %d", name, count)
+		return nil, fmt.Errorf("pvm: barrier %q with count %d", name, count)
 	}
 	s := t.sys
 	s.mu.Lock()
 	if s.halted {
 		s.mu.Unlock()
-		return ErrHalted
+		return nil, ErrHalted
 	}
 	b, ok := s.barriers[name]
 	if !ok {
@@ -381,30 +420,40 @@ func (t *Task) BarrierTimeout(name string, count int, d time.Duration) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.canceled {
-		return fmt.Errorf("pvm: barrier %q: %w", name, ErrCanceled)
+		return nil, fmt.Errorf("pvm: barrier %q: %w", name, ErrCanceled)
 	}
 	gen := b.gen
+	if b.deposits == nil {
+		b.deposits = make(map[TID][]byte)
+	}
+	b.deposits[t.tid] = append([]byte(nil), deposit...)
 	b.arrived++
 	if b.arrived >= count {
 		b.arrived = 0
+		if b.results == nil {
+			b.results = make(map[int]*barrierResult)
+		}
+		b.results[gen] = &barrierResult{data: b.deposits, readers: count}
+		b.deposits = nil
 		b.gen++
 		b.cond.Broadcast()
-		return nil
+		return b.takeResult(gen), nil
 	}
 	for b.gen == gen && !b.halted && !b.canceled {
 		if d > 0 && !time.Now().Before(deadline) {
 			b.arrived--
-			return fmt.Errorf("pvm: barrier %q after %v: %w", name, d, ErrTimeout)
+			delete(b.deposits, t.tid)
+			return nil, fmt.Errorf("pvm: barrier %q after %v: %w", name, d, ErrTimeout)
 		}
 		b.cond.Wait()
 	}
 	if b.gen != gen {
-		return nil // completed while we were checking
+		return b.takeResult(gen), nil // completed while we were checking
 	}
 	if b.canceled {
-		return fmt.Errorf("pvm: barrier %q: %w", name, ErrCanceled)
+		return nil, fmt.Errorf("pvm: barrier %q: %w", name, ErrCanceled)
 	}
-	return ErrHalted
+	return nil, ErrHalted
 }
 
 // CancelBarrier tears down the named barrier: every current waiter and
@@ -425,6 +474,7 @@ func (s *System) CancelBarrier(name string) {
 	b.mu.Lock()
 	b.canceled = true
 	b.arrived = 0
+	b.deposits = nil
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
