@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race chaos verify fuzz clean
+.PHONY: check build vet lint test race chaos verify fuzz bench clean
 
 check: build vet lint race chaos verify
 
@@ -40,6 +40,20 @@ verify:
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
+
+# bench runs the pvm fabric microbenchmarks at a fixed iteration count
+# (comparable across runs) plus the figure benchmarks, then emits
+# machine-readable BENCH_PR4.json: ns/op, B/op and allocs/op per
+# benchmark, with improvement factors against the committed pre-PR4
+# baseline. The send path is gated at >= 2x fewer allocs/op.
+BENCHTIME ?= 5000x
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./internal/pvm/ | tee bench/pvm.txt
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench/figures.txt
+	$(GO) run ./cmd/hbspk-benchjson -baseline bench/baseline_pre_pr4.txt \
+		-min-alloc-improvement 'BenchmarkSendRecv:2,BenchmarkMcastFanout:2' \
+		-o BENCH_PR4.json bench/pvm.txt bench/figures.txt
+	@echo wrote BENCH_PR4.json
 
 # fuzz gives each pvm wire-format fuzzer a short budget; CI smoke, not a
 # campaign.

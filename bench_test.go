@@ -183,6 +183,7 @@ func BenchmarkConcurrentEngineGather(b *testing.B) {
 
 func BenchmarkBytemarkSuite(b *testing.B) {
 	tr := model.UCFTestbedN(4)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RankMachines(tr, 1); err != nil {
 			b.Fatal(err)
@@ -214,6 +215,7 @@ func BenchmarkAblationPackUnpack(b *testing.B) {
 		return ts.Total / tf.Total
 	}
 	var withOv, withoutOv float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		withOv = measure(fabric.PVM())
 		withoutOv = measure(fabric.PureModel())
@@ -229,6 +231,7 @@ func BenchmarkAblationCoordinatorChoice(b *testing.B) {
 	n := 500 * workload.KB
 	d := cost.BalancedDist(tr, n)
 	var fast, slow float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := hbsp.RunVirtual(tr, fabric.PVM(), func(c hbsp.Ctx) error {
 			return gatherProg(c, tr.Pid(tr.FastestLeaf()), d)
@@ -255,6 +258,7 @@ func BenchmarkAblationPacketLevel(b *testing.B) {
 	d := cost.BalancedDist(tr, n)
 	root := tr.Pid(tr.FastestLeaf())
 	var hRel, packet float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
 			return gatherProg(c, root, d)
@@ -288,6 +292,7 @@ func BenchmarkAblationEqualVsBalanced(b *testing.B) {
 		return rep.Total
 	}
 	var ratio float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ratio = measure(cost.EqualDist(tr, n)) / measure(cost.BalancedDist(tr, n))
 	}
@@ -299,6 +304,7 @@ func BenchmarkAblationHierVsFlat(b *testing.B) {
 	tr := model.WideAreaGrid(3, 4, 12, 25000, 250000)
 	d := cost.EqualDist(tr, 240*workload.KB)
 	var hier, flat float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hier = cost.ReduceHier(tr, d, 0.05).Total()
 		flat = cost.ReduceFlat(tr, tr.Pid(tr.FastestLeaf()), d, 0.05).Total()
@@ -314,6 +320,7 @@ func BenchmarkDRMAPut(b *testing.B) {
 	tr := model.UCFTestbedN(4)
 	payload := make([]byte, 4096)
 	b.SetBytes(4096 * 3)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
 			defer hbsp.EndDRMA(c)
@@ -338,6 +345,7 @@ func BenchmarkDRMAPut(b *testing.B) {
 func BenchmarkScanHier(b *testing.B) {
 	tr := model.Figure1Cluster()
 	local := make([]int64, 1024)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
 			_, err := ScanHier(c, local, SumOp)
@@ -362,6 +370,7 @@ func BenchmarkMatMulBalanced(b *testing.B) {
 	for i := range bb {
 		bb[i] = float64(i % 3)
 	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := hbsp.RunVirtual(tr, fabric.PVM(), func(c hbsp.Ctx) error {
 			var inA, inB []float64
@@ -386,6 +395,7 @@ func BenchmarkAblationPerDestRates(b *testing.B) {
 	root := tr.Pid(tr.FastestLeaf())
 	rt := NewRateTable().Set("LAN", "*", 5)
 	var plain, rated float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := hbsp.RunVirtual(tr, fabric.PureModel(), func(c hbsp.Ctx) error {
 			return gatherProg(c, root, d)
@@ -409,6 +419,7 @@ func BenchmarkAblationPerDestRates(b *testing.B) {
 func BenchmarkJacobiSweep(b *testing.B) {
 	tr := model.UCFTestbedN(6)
 	cfg := JacobiBenchConfig()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := hbsp.RunVirtual(tr, fabric.PVM(), func(c hbsp.Ctx) error {
 			_, err := apps.Jacobi(c, cfg, func(int) float64 { return -2 })
@@ -438,6 +449,7 @@ func BenchmarkSpMV(b *testing.B) {
 		m.RowPtr[i+1] = len(m.Val)
 	}
 	x := make([]float64, 400)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := hbsp.RunVirtual(tr, fabric.PVM(), func(c hbsp.Ctx) error {
 			var inM *apps.CSR
@@ -463,6 +475,7 @@ func BenchmarkTotalExchangeHier(b *testing.B) {
 	cfg.MsgOverhead = 8000
 	cfg.CombineMessages = true
 	var flat, hier float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		measure := func(h bool) float64 {
 			rep, err := hbsp.RunVirtual(tr, cfg, func(c hbsp.Ctx) error {

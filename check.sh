@@ -4,6 +4,22 @@
 # and a short fuzz pass over the pvm wire format.
 set -eux
 
+# `./check.sh smoke` is the quick pre-push gate: build everything, run
+# a 10-iteration slice of the fabric benchmarks through the JSON
+# converter, and exercise hbspk-bench's profile flags on one figure.
+# Any build or run error fails the script (set -e); no timing gates.
+if [ "${1:-}" = smoke ]; then
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go build ./...
+	go test -run '^$' -bench 'BenchmarkSendRecv|BenchmarkMcastFanout|BenchmarkMailboxContention' \
+		-benchmem -benchtime 10x ./internal/pvm/ >"$tmp/bench.txt"
+	go run ./cmd/hbspk-benchjson -baseline bench/baseline_pre_pr4.txt -o "$tmp/bench.json" "$tmp/bench.txt"
+	go run ./cmd/hbspk-bench -fig 3a -cpuprofile "$tmp/cpu.pprof" \
+		-memprofile "$tmp/mem.pprof" -mutexprofile "$tmp/mutex.pprof" >/dev/null
+	exit 0
+fi
+
 go build ./...
 go vet ./...
 go run ./cmd/hbspk-vet ./...

@@ -1,0 +1,229 @@
+// Command hbspk-benchjson converts `go test -bench -benchmem` output
+// into machine-readable JSON, so the benchmark-regression gate can diff
+// runs without scraping text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/pvm/ | hbspk-benchjson -o BENCH_PR4.json
+//	hbspk-benchjson -baseline bench/baseline_pre_pr4.txt run1.txt run2.txt
+//
+// Input files (or stdin when none are given) hold raw `go test -bench`
+// output. When -baseline is set, benchmarks present on both sides gain
+// an improvement entry (baseline / current, so values above 1 mean the
+// current run wins), and -min-alloc-improvement can turn a missing
+// speedup into a non-zero exit for CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Improvement compares one benchmark across the baseline and current
+// runs as baseline/current ratios: above 1 means the current run wins.
+type Improvement struct {
+	Name         string  `json:"name"`
+	NsFactor     float64 `json:"ns_factor"`
+	BytesFactor  float64 `json:"b_factor,omitempty"`
+	AllocsFactor float64 `json:"allocs_factor,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Env          map[string]string `json:"env,omitempty"`
+	Benchmarks   []Benchmark       `json:"benchmarks"`
+	Baseline     []Benchmark       `json:"baseline,omitempty"`
+	Improvements []Improvement     `json:"improvements,omitempty"`
+}
+
+// gomaxprocsSuffix is the trailing -N go test appends to benchmark
+// names; it is stripped for display and baseline matching.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbspk-benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output, returning result lines and any
+// header metadata (goos, goarch, pkg, cpu).
+func parse(r io.Reader, env map[string]string) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && env != nil {
+			switch k {
+			case "goos", "goarch", "pkg", "cpu":
+				env[k] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- FAIL"
+		}
+		b := Benchmark{
+			Name:       gomaxprocsSuffix.ReplaceAllString(f[0], ""),
+			Iterations: iters,
+		}
+		// The rest of the line is value/unit pairs; unknown units are
+		// custom b.ReportMetric metrics.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", b.Name, f[i])
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "MB/s":
+				b.MBPerS = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string, env map[string]string) ([]Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f, env)
+}
+
+func ratio(base, cur float64) float64 {
+	if cur == 0 {
+		return 0
+	}
+	return base / cur
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	baseline := flag.String("baseline", "", "pre-change `go test -bench` output to diff against")
+	minAlloc := flag.String("min-alloc-improvement", "",
+		"fail unless every benchmark matching prefix improved allocs/op by factor (comma-separated prefix:factor pairs)")
+	flag.Parse()
+
+	rep := Report{Env: map[string]string{}}
+	var err error
+	if args := flag.Args(); len(args) > 0 {
+		for _, path := range args {
+			bs, err := parseFile(path, rep.Env)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, bs...)
+		}
+	} else if rep.Benchmarks, err = parse(os.Stdin, rep.Env); err != nil {
+		fatal(err)
+	}
+
+	if *baseline != "" {
+		if rep.Baseline, err = parseFile(*baseline, nil); err != nil {
+			fatal(err)
+		}
+		base := map[string]Benchmark{}
+		for _, b := range rep.Baseline {
+			base[b.Name] = b
+		}
+		for _, b := range rep.Benchmarks {
+			o, ok := base[b.Name]
+			if !ok {
+				continue
+			}
+			rep.Improvements = append(rep.Improvements, Improvement{
+				Name:         b.Name,
+				NsFactor:     ratio(o.NsPerOp, b.NsPerOp),
+				BytesFactor:  ratio(o.BytesPerOp, b.BytesPerOp),
+				AllocsFactor: ratio(o.AllocsPerOp, b.AllocsPerOp),
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	if *minAlloc != "" {
+		if err := checkAllocGate(rep, *minAlloc); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkAllocGate enforces "prefix:factor" allocation-improvement
+// floors against the computed improvements.
+func checkAllocGate(rep Report, spec string) error {
+	for _, clause := range strings.Split(spec, ",") {
+		prefix, factorStr, ok := strings.Cut(clause, ":")
+		if !ok {
+			return fmt.Errorf("bad -min-alloc-improvement clause %q (want prefix:factor)", clause)
+		}
+		floor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad factor in %q: %v", clause, err)
+		}
+		matched := false
+		for _, imp := range rep.Improvements {
+			if !strings.HasPrefix(imp.Name, prefix) {
+				continue
+			}
+			matched = true
+			if imp.AllocsFactor < floor {
+				return fmt.Errorf("%s: allocs/op improved only %.2fx, need >= %.2fx",
+					imp.Name, imp.AllocsFactor, floor)
+			}
+		}
+		if !matched {
+			return fmt.Errorf("no benchmark in both runs matches prefix %q", prefix)
+		}
+	}
+	return nil
+}

@@ -10,9 +10,12 @@ import (
 // BufReuse flags aliasing hazards around sent message data:
 //
 //   - packing into a *pvm.Buffer after it has been handed to
-//     Task.Send/Mcast — the send snapshots the buffer's bytes at call
-//     time, so later Pack calls silently extend a stale frame that will
-//     never travel, and resending ships the old prefix twice;
+//     Task.Send/Mcast — ownership of the buffer's wire record transfers
+//     to the fabric at the send, so later Pack calls write into bytes
+//     the receiver (or, after recycling, an unrelated message) may be
+//     reading;
+//   - sending a *pvm.Buffer twice — a buffer is sendable exactly once
+//     (the runtime rejects the resend), pack a fresh buffer per send;
 //   - mutating a []byte payload after it was queued with Ctx.Send —
 //     engines may deliver the sender's slice itself (hbsp.Message
 //     documents "engines may share the sender's bytes"), so writes,
@@ -86,7 +89,12 @@ func checkBufReuse(pass *Pass, body *ast.BlockStmt) {
 				case (name == "Send" || name == "Mcast") && len(st.Args) == 3 && typeNameOf(info.TypeOf(st.Args[2])) == "Buffer":
 					if obj := identObj(info, st.Args[2]); obj != nil {
 						pos := st.Pos()
-						add(pos, func() { sent[obj] = sentEvent{pos, "buffer"} })
+						add(pos, func() {
+							if ev, ok := sent[obj]; ok && ev.kind == "buffer" {
+								pass.Reportf(pos, "buffer %q resent: ownership transferred at the send on line %d, a buffer is sendable exactly once", obj.Name(), pass.Fset.Position(ev.pos).Line)
+							}
+							sent[obj] = sentEvent{pos, "buffer"}
+						})
 					}
 				case name == "Send" && isCtxType(rt) && len(st.Args) == 3:
 					if obj := payloadObj(info, st.Args[2]); obj != nil {
@@ -98,7 +106,7 @@ func checkBufReuse(pass *Pass, body *ast.BlockStmt) {
 						pos := st.Pos()
 						add(pos, func() {
 							if ev, ok := sent[obj]; ok && ev.kind == "buffer" {
-								pass.Reportf(pos, "%s into buffer %q already sent at line %d: sends snapshot the buffer, pack into a fresh one", name, obj.Name(), pass.Fset.Position(ev.pos).Line)
+								pass.Reportf(pos, "%s into buffer %q already sent at line %d: the send owns the buffer's bytes, pack into a fresh one", name, obj.Name(), pass.Fset.Position(ev.pos).Line)
 							}
 						})
 					}

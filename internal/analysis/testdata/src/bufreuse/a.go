@@ -35,8 +35,8 @@ func packAfterSend(t *Task) error {
 	if err := t.Send(1, 7, buf); err != nil {
 		return err
 	}
-	buf.PackInt32(2) // want `PackInt32 into buffer "buf" already sent`
-	return t.Send(2, 7, buf)
+	buf.PackInt32(2)         // want `PackInt32 into buffer "buf" already sent`
+	return t.Send(2, 7, buf) // want `buffer "buf" resent`
 }
 
 func packAfterMcast(t *Task) error {
@@ -46,6 +46,14 @@ func packAfterMcast(t *Task) error {
 	}
 	buf.PackBytes([]byte("tail")) // want `PackBytes into buffer "buf" already sent`
 	return nil
+}
+
+func resendWithoutPacking(t *Task) error {
+	buf := NewBuffer().PackInt32(1)
+	if err := t.Send(1, 7, buf); err != nil {
+		return err
+	}
+	return t.Send(2, 7, buf) // want `buffer "buf" resent`
 }
 
 func mutatePayloadAfterSend(c Ctx, scope *Machine) error {
@@ -105,14 +113,6 @@ func rebindResets(t *Task) error {
 	}
 	buf = NewBuffer()
 	buf.PackInt32(2)
-	return t.Send(2, 7, buf)
-}
-
-func resendWithoutPacking(t *Task) error {
-	buf := NewBuffer().PackInt32(1)
-	if err := t.Send(1, 7, buf); err != nil {
-		return err
-	}
 	return t.Send(2, 7, buf)
 }
 

@@ -36,23 +36,36 @@ func BroadcastCrossover(cfg Config) (*Result, error) {
 	s1.Name, s2.Name, s3.Name = "one-phase", "two-phase", "binomial"
 	// Include sizes well below the crossover in addition to the paper
 	// sweep, so both regimes show.
-	sizes := append([]int{int(nstar / 4), int(nstar / 2)}, cfg.Sizes...)
-	for _, n := range sizes {
-		if n <= 0 {
-			continue
+	all := append([]int{int(nstar / 4), int(nstar / 2)}, cfg.Sizes...)
+	sizes := all[:0]
+	for _, n := range all {
+		if n > 0 {
+			sizes = append(sizes, n)
 		}
+	}
+	times := make([][3]float64, len(sizes))
+	err := forEachPoint(len(sizes), func(i int) error {
+		n := sizes[i]
 		t1, err := measureBcastOnePhase(tr, cfg.Fabric, root, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t2, err := measureBcastTwoPhase(tr, cfg.Fabric, root, n, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t3, err := measureBcastBinomial(tr, cfg.Fabric, root, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		times[i] = [3]float64{t1, t2, t3}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		t1, t2, t3 := times[i][0], times[i][1], times[i][2]
 		winner := "one-phase"
 		switch {
 		case t2 <= t1 && t2 <= t3:
@@ -110,22 +123,38 @@ func HierarchyPenalty(cfg Config) (*Result, error) {
 		{"figure1", model.Figure1Cluster()},
 		{"wan-grid", model.WideAreaGrid(3, 4, 12, 25000, 250000)},
 	}
-	for _, m := range machines {
-		flat := cost.Flatten(m.tr)
+	flats := make([]*model.Tree, len(machines))
+	for i, m := range machines {
+		flats[i] = cost.Flatten(m.tr)
+	}
+	// Fan the (machine × size) grid; point (mi, si) owns its slot.
+	type penaltyPoint struct{ hier, flat float64 }
+	pts := make([]penaltyPoint, len(machines)*len(cfg.Sizes))
+	err := forEachPoint(len(pts), func(idx int) error {
+		mi, si := idx/len(cfg.Sizes), idx%len(cfg.Sizes)
+		m, flat, n := machines[mi], flats[mi], cfg.Sizes[si]
+		d := cost.BalancedDist(m.tr, n)
+		hier, err := measureGatherHier(m.tr, cfg.Fabric, d)
+		if err != nil {
+			return err
+		}
+		tFlat, err := measureGather(flat, cfg.Fabric, d, flat.Pid(flat.FastestLeaf()))
+		if err != nil {
+			return err
+		}
+		pts[idx] = penaltyPoint{hier: hier, flat: tFlat}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range machines {
 		var series Series
 		series.Name = m.name
-		for _, n := range cfg.Sizes {
-			d := cost.BalancedDist(m.tr, n)
-			hier, err := measureGatherHier(m.tr, cfg.Fabric, d)
-			if err != nil {
-				return nil, err
-			}
-			tFlat, err := measureGather(flat, cfg.Fabric, d, flat.Pid(flat.FastestLeaf()))
-			if err != nil {
-				return nil, err
-			}
-			pen := hier / tFlat
-			tb.AddF(m.name, n/workload.KB, hier, tFlat, pen)
+		for si, n := range cfg.Sizes {
+			pt := pts[mi*len(cfg.Sizes)+si]
+			pen := pt.hier / pt.flat
+			tb.AddF(m.name, n/workload.KB, pt.hier, pt.flat, pen)
 			series.Points = append(series.Points, Point{X: float64(n), Y: pen})
 		}
 		res.Series = append(res.Series, series)
@@ -190,17 +219,22 @@ func ValidateModel(cfg Config) (*Result, error) {
 			return measureGatherHier(fig1, pure, dFig)
 		}},
 	}
+	sims := make([]float64, len(checks))
+	err := forEachPoint(len(checks), func(i int) error {
+		var err error
+		sims[i], err = checks[i].simulate()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	worst := 0.0
-	for _, c := range checks {
-		sim, err := c.simulate()
-		if err != nil {
-			return nil, err
-		}
-		re := stats.RelErr(sim, c.predicted)
+	for i, c := range checks {
+		re := stats.RelErr(sims[i], c.predicted)
 		if re > worst {
 			worst = re
 		}
-		tb.AddF(c.machine, c.name, c.predicted, sim, re)
+		tb.AddF(c.machine, c.name, c.predicted, sims[i], re)
 	}
 	res.Series = []Series{{Name: "worst-rel-err", Points: []Point{{X: 0, Y: worst}}}}
 	return res, nil
@@ -213,16 +247,21 @@ func ValidateModel(cfg Config) (*Result, error) {
 func Calibrate(cfg Config) (*Result, error) {
 	tr := model.UCFTestbed()
 	pure := fabric.PureModel()
-	var hs, ts []float64
-	for _, n := range cfg.Sizes {
-		d := cost.EqualDist(tr, n)
-		root := tr.Pid(tr.FastestLeaf())
+	hs := make([]float64, len(cfg.Sizes))
+	ts := make([]float64, len(cfg.Sizes))
+	root := tr.Pid(tr.FastestLeaf())
+	err := forEachPoint(len(cfg.Sizes), func(i int) error {
+		d := cost.EqualDist(tr, cfg.Sizes[i])
 		total, err := measureGather(tr, pure, d, root)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hs = append(hs, cost.HRelation(tr, tr.Root, gatherFlows(tr, d, root)))
-		ts = append(ts, total)
+		hs[i] = cost.HRelation(tr, tr.Root, gatherFlows(tr, d, root))
+		ts[i] = total
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	l, g, r2, err := stats.LinearFit(hs, ts)
 	if err != nil {

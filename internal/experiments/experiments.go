@@ -219,24 +219,36 @@ func improvementFigure(cfg Config, id, title, claim, ratioName string,
 	for i, p := range cfg.Ps {
 		series[i].Name = fmt.Sprintf("p=%d", p)
 	}
+	// Trees are built up front (BYTEmark measurement is sequential and
+	// seeded), then shared read-only by every point of their column.
 	trees := make([]*model.Tree, len(cfg.Ps))
-	for _, n := range cfg.Sizes {
+	for i, p := range cfg.Ps {
+		var err error
+		trees[i], err = testbedWithMeasuredShares(p, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fan the (size × p) grid; point (si, pi) owns slot si*len(Ps)+pi.
+	imprs := make([]float64, len(cfg.Sizes)*len(cfg.Ps))
+	err := forEachPoint(len(imprs), func(idx int) error {
+		si, pi := idx/len(cfg.Ps), idx%len(cfg.Ps)
+		tA, tB, err := measure(trees[pi], cfg.Ps[pi], cfg.Sizes[si])
+		if err != nil {
+			return err
+		}
+		imprs[idx] = tA / tB
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range cfg.Sizes {
 		row := []interface{}{n / workload.KB}
-		for i, p := range cfg.Ps {
-			if trees[i] == nil {
-				var err error
-				trees[i], err = testbedWithMeasuredShares(p, cfg.Seed)
-				if err != nil {
-					return nil, err
-				}
-			}
-			tA, tB, err := measure(trees[i], p, n)
-			if err != nil {
-				return nil, err
-			}
-			impr := tA / tB
+		for pi := range cfg.Ps {
+			impr := imprs[si*len(cfg.Ps)+pi]
 			row = append(row, impr)
-			series[i].Points = append(series[i].Points, Point{X: float64(n), Y: impr})
+			series[pi].Points = append(series[pi].Points, Point{X: float64(n), Y: impr})
 		}
 		tb.AddF(row...)
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachPointCoversEverySlot(t *testing.T) {
+	const n = 257
+	got := make([]int, n)
+	if err := forEachPoint(n, func(i int) error {
+		got[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("slot %d: got %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestForEachPointLowestIndexErrorWins(t *testing.T) {
+	// Make several points fail; the reported error must be the
+	// lowest-index one regardless of scheduling.
+	fail := map[int]bool{3: true, 7: true, 40: true}
+	for trial := 0; trial < 10; trial++ {
+		err := forEachPoint(64, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("point %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "point 3" {
+			t.Fatalf("trial %d: got %v, want point 3", trial, err)
+		}
+	}
+}
+
+func TestForEachPointBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	if err := forEachPoint(200, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if max := int64(runtime.GOMAXPROCS(0)); peak.Load() > max {
+		t.Fatalf("observed %d concurrent points, worker bound is %d", peak.Load(), max)
+	}
+}
+
+func TestForEachPointEmpty(t *testing.T) {
+	if err := forEachPoint(0, func(int) error {
+		return errors.New("must not run")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

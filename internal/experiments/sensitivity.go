@@ -46,25 +46,36 @@ func SensitivityRS(cfg Config) (*Result, error) {
 	n := 500 * workload.KB
 	var twoSeries, oneSeries Series
 	twoSeries.Name, oneSeries.Name = "two-phase", "one-phase"
-	for _, rs := range []float64{1, 1.5, 2, 3, 4, 5, 5.9, 6.5, 8} {
-		tr := clusterWithSlowest(rs)
+	rss := []float64{1, 1.5, 2, 3, 4, 5, 5.9, 6.5, 8}
+	type rsPoint struct{ t1, t2, nstar float64 }
+	pts := make([]rsPoint, len(rss))
+	err := forEachPoint(len(rss), func(i int) error {
+		// Each point builds its own cluster: the tree is not shared.
+		tr := clusterWithSlowest(rss[i])
 		root := tr.Pid(tr.FastestLeaf())
 		t2, err := measureBcastTwoPhase(tr, cfg.Fabric, root, n, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t1, err := measureBcastOnePhase(tr, cfg.Fabric, root, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		pts[i] = rsPoint{t1: t1, t2: t2, nstar: cost.TwoPhaseCrossoverSize(tr)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rs := range rss {
+		pt := pts[i]
 		winner := "one-phase"
-		if t2 < t1 {
+		if pt.t2 < pt.t1 {
 			winner = "two-phase"
 		}
-		nstar := cost.TwoPhaseCrossoverSize(tr)
-		tb.AddF(rs, t2, t1, nstar, winner)
-		twoSeries.Points = append(twoSeries.Points, Point{X: rs, Y: t2})
-		oneSeries.Points = append(oneSeries.Points, Point{X: rs, Y: t1})
+		tb.AddF(rs, pt.t2, pt.t1, pt.nstar, winner)
+		twoSeries.Points = append(twoSeries.Points, Point{X: rs, Y: pt.t2})
+		oneSeries.Points = append(oneSeries.Points, Point{X: rs, Y: pt.t1})
 	}
 	res.Series = []Series{twoSeries, oneSeries}
 	return res, nil

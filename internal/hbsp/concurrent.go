@@ -105,6 +105,11 @@ type cctx struct {
 	outbox []pendingMsg
 	inbox  []Message
 	seq    int
+	// batch groups one superstep's outbox per destination so each
+	// mailbox is appended under a single lock acquisition; touched lists
+	// the destinations with a non-empty batch.
+	batch   [][]*pvm.Buffer
+	touched []int
 	// syncSeq counts this processor's syncs per scope so that senders
 	// and receivers agree on a message tag per (scope, generation).
 	syncSeq map[*model.Machine]int
@@ -619,13 +624,33 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 				buf.PackInt64(int64(m.sum))
 				buf.PackInt64Slice(m.stamp.encodeInt64())
 			}
-			if err := c.task.Send(c.tids[m.dst], c.wireTag(scope, gen, 0), buf); err != nil {
-				return err
+			if c.batch == nil {
+				c.batch = make([][]*pvm.Buffer, c.NProcs())
 			}
+			if len(c.batch[m.dst]) == 0 {
+				c.touched = append(c.touched, m.dst)
+			}
+			c.batch[m.dst] = append(c.batch[m.dst], buf)
 			sentBytes += len(m.payload)
 		}
 	}
 	c.outbox = kept
+
+	// One mailbox append per destination, in pid order: the whole
+	// superstep's traffic to a peer lands under a single lock
+	// acquisition.
+	sort.Ints(c.touched)
+	var sendErr error
+	for _, dst := range c.touched {
+		if sendErr == nil {
+			sendErr = c.task.SendBatch(c.tids[dst], c.wireTag(scope, gen, 0), c.batch[dst])
+		}
+		c.batch[dst] = c.batch[dst][:0]
+	}
+	c.touched = c.touched[:0]
+	if sendErr != nil {
+		return sendErr
+	}
 
 	members := make([]int, len(leaves))
 	for i, l := range leaves {
@@ -693,16 +718,21 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	}
 
 	// All sends of this (scope, gen) happened before any barrier exit,
-	// so the mailbox now holds the complete delivery.
+	// so the mailbox now holds the complete delivery. Payloads are
+	// copied out of the pooled wires into one fresh slab per window —
+	// delivered bytes keep garbage-collected lifetime (programs hold
+	// collective results across supersteps), while the wire buffers
+	// release straight back to the arena.
 	c.inbox = c.inbox[:0]
 	c.inmeta = c.inmeta[:0]
 	recvBytes := 0
-	var seqs []int
-	for {
-		m, ok := c.task.TryRecv(pvm.AnySource, c.wireTag(scope, gen, 0))
-		if !ok {
-			break
-		}
+	msgs := c.task.TryRecvAll(pvm.AnySource, c.wireTag(scope, gen, 0))
+	slabCap := 0
+	for _, m := range msgs {
+		slabCap += m.Len()
+	}
+	slab := make([]byte, 0, slabCap)
+	for _, m := range msgs {
 		b := m.Buffer()
 		src, err := b.UnpackInt32()
 		if err != nil {
@@ -716,6 +746,10 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		if err != nil {
 			return err
 		}
+		// slabCap over-covers the framing, so these appends never
+		// reallocate and earlier windows' slices stay intact.
+		slab = append(slab, payload...)
+		payload = slab[len(slab)-len(payload):]
 		if c.eng.Verify {
 			sum, err := b.UnpackInt64()
 			if err != nil {
@@ -729,8 +763,8 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 				stamp: decodeVClock(stamp), sum: uint64(sum)})
 		}
 		c.inbox = append(c.inbox, Message{Src: int(src), Tag: int(tag), Payload: payload})
-		seqs = append(seqs, len(seqs))
 		recvBytes += len(payload)
+		m.Release()
 	}
 	if c.eng.Verify {
 		// Sort inbox and metadata through one index permutation so the
@@ -753,7 +787,9 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 			}
 		}
 	} else {
-		sortMessages(c.inbox, seqs)
+		// Arrival order is already per-sender FIFO; a stable sort by
+		// source yields the engine's (Src, send order) delivery contract.
+		sort.SliceStable(c.inbox, func(a, b int) bool { return c.inbox[a].Src < c.inbox[b].Src })
 	}
 
 	// Checkpoint commit at the global cadence, mirroring the virtual

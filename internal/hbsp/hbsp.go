@@ -20,8 +20,6 @@
 package hbsp
 
 import (
-	"sort"
-
 	"hbspk/internal/model"
 )
 
@@ -108,25 +106,4 @@ func Share(c Ctx) float64 { return c.Self().Share }
 // given scope.
 func Coordinator(c Ctx, scope *model.Machine) bool {
 	return scope.Coordinator() == c.Self()
-}
-
-// sortMessages orders delivered messages by sender then send sequence,
-// the order Moves guarantees.
-func sortMessages(ms []Message, seq []int) {
-	idx := make([]int, len(ms))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ma, mb := ms[idx[a]], ms[idx[b]]
-		if ma.Src != mb.Src {
-			return ma.Src < mb.Src
-		}
-		return seq[idx[a]] < seq[idx[b]]
-	})
-	out := make([]Message, len(ms))
-	for i, j := range idx {
-		out[i] = ms[j]
-	}
-	copy(ms, out)
 }

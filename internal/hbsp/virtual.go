@@ -63,6 +63,10 @@ type Virtual struct {
 	// verification records when Verify is set.
 	inboxes [][]Message
 	inmetas [][]msgMeta
+	// inboxFree recycles spent inbox slices donated back through sync
+	// requests, so steady-state staging reuses backings instead of
+	// growing fresh ones every superstep.
+	inboxFree [][]Message
 
 	// Schedule-exploration state, driven by RunSchedules: permIndex 0
 	// replays the canonical (src, seq) delivery order, higher indexes a
@@ -131,6 +135,13 @@ type vrequest struct {
 	// ord is the processor's 0-based sync ordinal, stamped by the
 	// engine when the request is handled.
 	ord int
+
+	// spent donates the requester's previous inbox slice back to the
+	// engine. It may be reclaimed only on the success path: a sync that
+	// resumes with an error leaves the processor's delivered window
+	// readable (fault-tolerant programs re-read Moves after
+	// ErrPeerFailed).
+	spent []Message
 }
 
 // vctx is the per-processor Ctx of the virtual engine.
@@ -215,6 +226,7 @@ func (c *vctx) Sync(scope *model.Machine, label string) error {
 	req := &vrequest{
 		pid: c.pid, kind: 's', scope: scope, label: label,
 		work: c.work, outbox: c.outbox, saves: c.ckptStage, resume: c.resume,
+		spent: c.inbox,
 	}
 	c.work = 0
 	c.outbox = nil
@@ -317,6 +329,22 @@ type runState struct {
 	// scopes complete in scheduler-dependent order.
 	stepSum []float64
 	stepN   []int
+}
+
+// recycleSpent reclaims a resumed processor's donated inbox slice for
+// the staging free list, zeroing the vacated slots so no payload stays
+// reachable. Only the success path calls it: a sync resumed with an
+// error keeps its delivered window readable.
+func (v *Virtual) recycleSpent(r *vrequest) {
+	if r == nil || r.spent == nil {
+		return
+	}
+	s := r.spent
+	r.spent = nil
+	for i := range s {
+		s[i] = Message{}
+	}
+	v.inboxFree = append(v.inboxFree, s[:0])
 }
 
 // inboxes staged for pickup by vctx.Sync after resume.
@@ -642,6 +670,12 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 	}
 	st.undelivered = append(st.undelivered, outbox...)
 
+	// Every participant of a completing step resumes successfully, so
+	// its previous inbox slice can be reclaimed for this step's staging.
+	for _, pid := range pids {
+		v.recycleSpent(st.pending[pid])
+	}
+
 	// Deliverable: both endpoints inside the scope, destination alive,
 	// and any chaos delay expired. Fates are assigned at the first step
 	// a message could deliver, so a delayed message is parked exactly
@@ -727,6 +761,12 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 			copies = 2
 		}
 		for i := 0; i < copies; i++ {
+			if v.inboxes[m.dst] == nil {
+				if n := len(v.inboxFree); n > 0 {
+					v.inboxes[m.dst] = v.inboxFree[n-1]
+					v.inboxFree = v.inboxFree[:n-1]
+				}
+			}
 			v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
 			if v.Verify {
 				v.inmetas[m.dst] = append(v.inmetas[m.dst],

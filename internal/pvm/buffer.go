@@ -40,10 +40,34 @@ var ErrBufferUnderflow = errors.New("pvm: unpack past end of buffer")
 type Buffer struct {
 	data []byte
 	off  int
+	w    *wire // pooled backing; nil for Wrap'd and zero-value buffers
+	sent bool  // handed to Send/Mcast; the fabric owns the bytes now
 }
 
-// NewBuffer returns an empty send buffer.
-func NewBuffer() *Buffer { return &Buffer{} }
+// NewBuffer returns an empty send buffer backed by the wire arena:
+// its bytes recycle through a sync.Pool once the receiver releases the
+// delivered message.
+func NewBuffer() *Buffer {
+	w := newWire()
+	return &Buffer{data: w.data[:0], w: w}
+}
+
+// adopt transfers ownership of the packed bytes to the fabric. A
+// buffer is sendable exactly once: the wire record (when pooled)
+// travels with the message, so a second send would alias a payload the
+// receiver may already have released back to the pool.
+func (b *Buffer) adopt() (*wire, error) {
+	if b.sent {
+		return nil, errors.New("pvm: buffer already sent; pack a fresh buffer per send")
+	}
+	b.sent = true
+	if b.w != nil {
+		// Packing may have grown past the pooled array; the wire record
+		// follows wherever the data lives now.
+		b.w.data = b.data
+	}
+	return b.w, nil
+}
 
 // bufferFrom wraps received bytes for unpacking.
 func bufferFrom(data []byte) *Buffer { return &Buffer{data: data} }

@@ -1,0 +1,217 @@
+package pvm
+
+import "sort"
+
+// The indexed mailbox. Senders stage under sendMu; the receiving side
+// drains the staging into per-(src, tag) queues under recvMu, so the
+// dominant exact-match receive is a map lookup plus a head pop instead
+// of a linear scan, and a burst of senders never serializes against
+// the receiver's matching. Wildcard receives fall back to picking the
+// smallest arrival stamp across the matching queue heads.
+
+// mkey indexes one queue of the mailbox.
+type mkey struct {
+	src TID
+	tag int
+}
+
+// msgq is one FIFO of the index: a slice consumed from head so pops
+// are O(1). Vacated slots are zeroed immediately — a popped Message
+// (and its payload) must not stay reachable from the mailbox.
+type msgq struct {
+	items []Message
+	head  int
+}
+
+func (q *msgq) push(m Message) { q.items = append(q.items, m) }
+
+func (q *msgq) pop() Message {
+	m := q.items[q.head]
+	q.items[q.head] = Message{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return m
+}
+
+func (q *msgq) empty() bool     { return q.head == len(q.items) }
+func (q *msgq) len() int        { return len(q.items) - q.head }
+func (q *msgq) peekSeq() uint64 { return q.items[q.head].seq }
+
+// maxFreeQueues bounds the per-task recycled queue records. The HBSP
+// engines encode the superstep generation in the tag, so keys churn;
+// recycling keeps that from allocating a fresh queue every superstep.
+const maxFreeQueues = 64
+
+// deliverOne stages a message from a sender. Only sendMu is taken, so
+// concurrent senders contend with each other and a parked receiver,
+// never with an actively matching one.
+func (t *Task) deliverOne(m Message) error {
+	t.sendMu.Lock()
+	if t.halted {
+		t.sendMu.Unlock()
+		return ErrHalted
+	}
+	t.seq++
+	m.seq = t.seq
+	t.staged = append(t.staged, m)
+	t.cond.Broadcast()
+	t.sendMu.Unlock()
+	return nil
+}
+
+// deliverBatch stages a whole outbox under one lock acquisition.
+func (t *Task) deliverBatch(ms []Message) error {
+	t.sendMu.Lock()
+	if t.halted {
+		t.sendMu.Unlock()
+		return ErrHalted
+	}
+	for i := range ms {
+		t.seq++
+		ms[i].seq = t.seq
+	}
+	t.staged = append(t.staged, ms...)
+	t.cond.Broadcast()
+	t.sendMu.Unlock()
+	return nil
+}
+
+// recvOnce drains the staging and attempts one indexed pop, returning
+// the staging version observed for park/retry decisions.
+func (t *Task) recvOnce(src TID, tag int) (Message, uint64, bool) {
+	t.recvMu.Lock()
+	ver := t.drainLocked()
+	m, ok := t.popLocked(src, tag)
+	t.recvMu.Unlock()
+	return m, ver, ok
+}
+
+// drainLocked moves staged messages into the indexed queues and
+// returns the staging version (t.seq) they cover. The vacated staging
+// backing is zeroed and ping-ponged back for the next burst of
+// senders. Caller holds recvMu.
+func (t *Task) drainLocked() uint64 {
+	t.sendMu.Lock()
+	staged := t.staged
+	t.staged = t.spare[:0]
+	ver := t.seq
+	t.sendMu.Unlock()
+	for i := range staged {
+		m := staged[i]
+		k := mkey{src: m.Src, tag: m.Tag}
+		q := t.queues[k]
+		if q == nil {
+			q = t.getq()
+			t.queues[k] = q
+		}
+		q.push(m)
+		staged[i] = Message{} // the index owns the reference now
+	}
+	t.spare = staged[:0]
+	return ver
+}
+
+// findLocked locates the queue holding the oldest message matching
+// (src, tag); queues in the index are never empty. Caller holds recvMu
+// and has drained.
+func (t *Task) findLocked(src TID, tag int) (mkey, *msgq) {
+	if src != AnySource && tag != AnyTag {
+		k := mkey{src: src, tag: tag}
+		return k, t.queues[k]
+	}
+	var (
+		bestK mkey
+		best  *msgq
+	)
+	for k, q := range t.queues {
+		if src != AnySource && k.src != src {
+			continue
+		}
+		if tag != AnyTag && k.tag != tag {
+			continue
+		}
+		if best == nil || q.peekSeq() < best.peekSeq() {
+			bestK, best = k, q
+		}
+	}
+	return bestK, best
+}
+
+// popLocked removes and returns the oldest matching message. Caller
+// holds recvMu and has drained.
+func (t *Task) popLocked(src TID, tag int) (Message, bool) {
+	k, q := t.findLocked(src, tag)
+	if q == nil {
+		return Message{}, false
+	}
+	m := q.pop()
+	if q.empty() {
+		t.dropq(k, q)
+	}
+	return m, true
+}
+
+func (t *Task) getq() *msgq {
+	if n := len(t.qfree); n > 0 {
+		q := t.qfree[n-1]
+		t.qfree = t.qfree[:n-1]
+		return q
+	}
+	return new(msgq)
+}
+
+// dropq removes an emptied queue from the index — tags churn per
+// superstep, so empty queues must not accumulate — and recycles the
+// record.
+func (t *Task) dropq(k mkey, q *msgq) {
+	delete(t.queues, k)
+	if len(t.qfree) < maxFreeQueues {
+		t.qfree = append(t.qfree, q)
+	}
+}
+
+// TryRecvAll drains every queued message matching (src, tag) in
+// arrival order, without blocking, under one lock acquisition. The
+// exact-match case hands the queue's backing to the caller in place;
+// wildcard matches are merged by arrival stamp. The HBSP engines use
+// it to collect a superstep's whole inbox at once.
+func (t *Task) TryRecvAll(src TID, tag int) []Message {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	t.drainLocked()
+	if src != AnySource && tag != AnyTag {
+		k := mkey{src: src, tag: tag}
+		q := t.queues[k]
+		if q == nil {
+			return nil
+		}
+		out := q.items[q.head:]
+		delete(t.queues, k)
+		// The backing transfers to the caller; recycle only the record.
+		*q = msgq{}
+		if len(t.qfree) < maxFreeQueues {
+			t.qfree = append(t.qfree, q)
+		}
+		return out
+	}
+	var out []Message
+	for k, q := range t.queues {
+		if src != AnySource && k.src != src {
+			continue
+		}
+		if tag != AnyTag && k.tag != tag {
+			continue
+		}
+		out = append(out, q.items[q.head:]...)
+		for i := q.head; i < len(q.items); i++ {
+			q.items[i] = Message{}
+		}
+		q.items, q.head = q.items[:0], 0
+		t.dropq(k, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}

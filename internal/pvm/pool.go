@@ -1,0 +1,59 @@
+package pvm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The fast path of the fabric: Send hands the sender's packed bytes to
+// the receiver without copying. Each in-flight payload is owned by a
+// reference-counted wire record; Mcast shares one record across the
+// whole fan-out (refcount = fan-out). When the last holder releases,
+// the backing array parks in a sync.Pool and the next NewBuffer draws
+// it back out, so steady-state traffic allocates nothing on the wire.
+
+// maxPooledCap bounds the backing arrays the arena recycles; anything
+// larger is left to the garbage collector so one huge message cannot
+// pin arena memory forever.
+const maxPooledCap = 1 << 20
+
+// wire is a reference-counted wire payload. refs counts the Messages
+// (and, before the send, the Buffer) that alias data.
+type wire struct {
+	data []byte
+	refs atomic.Int32
+}
+
+var wirePool = sync.Pool{New: func() any { return new(wire) }}
+
+// newWire draws a recycled wire record holding a single reference.
+func newWire() *wire {
+	w := wirePool.Get().(*wire)
+	w.refs.Store(1)
+	return w
+}
+
+// retain adds n references (Mcast arming a fan-out).
+func (w *wire) retain(n int32) {
+	if w != nil && n > 0 {
+		w.refs.Add(n)
+	}
+}
+
+// release drops one reference; the last one returns the backing to the
+// pool. Releasing more references than were taken is a lifetime bug in
+// the caller and panics rather than corrupting a recycled buffer.
+func (w *wire) release() {
+	if w == nil {
+		return
+	}
+	switch n := w.refs.Add(-1); {
+	case n == 0:
+		if cap(w.data) <= maxPooledCap {
+			w.data = w.data[:0]
+			wirePool.Put(w)
+		}
+	case n < 0:
+		panic("pvm: wire buffer released more times than retained")
+	}
+}

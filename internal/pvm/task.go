@@ -17,18 +17,30 @@ const (
 	AnyTag    int = -1
 )
 
-// Message is a delivered packed buffer.
+// Message is a delivered packed buffer. The payload aliases the
+// sender's wire buffer: treat it as read-only, and call Release once
+// done with it to return the backing to the arena.
 type Message struct {
 	Src TID
 	Tag int
 	buf []byte
+	w   *wire
+	seq uint64 // per-mailbox arrival stamp, orders wildcard matches
 }
 
 // Buffer returns an unpacker positioned at the start of the message.
+// The unpacker aliases the message's wire bytes: it is only valid
+// until Release, and must not itself be sent.
 func (m Message) Buffer() *Buffer { return bufferFrom(m.buf) }
 
 // Len returns the message's wire length in bytes.
 func (m Message) Len() int { return len(m.buf) }
+
+// Release returns the message's wire buffer to the arena. Call it at
+// most once, after the payload (and anything unpacked from it, which
+// aliases the same bytes) is no longer needed. A multicast payload is
+// shared: the backing recycles only when every destination releases.
+func (m Message) Release() { m.w.release() }
 
 // ErrHalted is returned by blocking operations after Halt.
 var ErrHalted = errors.New("pvm: system halted")
@@ -45,7 +57,7 @@ var ErrCanceled = errors.New("pvm: barrier canceled")
 // System is the virtual machine: it spawns tasks, routes messages and
 // hosts group barriers.
 type System struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	tasks    map[TID]*Task
 	nextTID  TID
 	halted   bool
@@ -73,7 +85,8 @@ func (s *System) Spawn(name string, fn func(*Task) error) TID {
 	tid := s.nextTID
 	s.nextTID++
 	t := &Task{tid: tid, name: name, sys: s, halted: s.halted}
-	t.cond = sync.NewCond(&t.mu)
+	t.cond = sync.NewCond(&t.sendMu)
+	t.queues = make(map[mkey]*msgq)
 	s.tasks[tid] = t
 	s.mu.Unlock()
 
@@ -132,10 +145,10 @@ func (s *System) Halt() {
 	}
 	s.mu.Unlock()
 	for _, t := range tasks {
-		t.mu.Lock()
+		t.sendMu.Lock()
 		t.halted = true
 		t.cond.Broadcast()
-		t.mu.Unlock()
+		t.sendMu.Unlock()
 	}
 	for _, b := range barriers {
 		b.mu.Lock()
@@ -146,9 +159,9 @@ func (s *System) Halt() {
 }
 
 func (s *System) task(tid TID) (*Task, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	t, ok := s.tasks[tid]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("pvm: no such task %d", tid)
 	}
@@ -156,16 +169,31 @@ func (s *System) task(tid TID) (*Task, error) {
 }
 
 // Task is one spawned process: a goroutine plus a selective-receive
-// mailbox.
+// mailbox. The mailbox is split in two so senders and the receiver do
+// not serialize: senders append to a staging slice under sendMu, the
+// receiving side drains the staging into per-(src, tag) indexed queues
+// under recvMu and matches against the index.
 type Task struct {
 	tid  TID
 	name string
 	sys  *System
 
-	mu     sync.Mutex
+	// Sender side: the staging queue, arrival stamping, the halt flag
+	// and the wakeup cond live under sendMu. seq doubles as the staging
+	// version a parked receiver watches for.
+	sendMu sync.Mutex
 	cond   *sync.Cond
-	mbox   []Message
+	staged []Message
+	seq    uint64
 	halted bool
+
+	// Receiver side: recvMu serializes receivers and guards the index.
+	// Lock order is recvMu before sendMu; sendMu is never held while
+	// taking recvMu.
+	queues map[mkey]*msgq
+	spare  []Message // recycled staging backing, ping-ponged with staged
+	qfree  []*msgq   // recycled queue records (wire tags churn per superstep)
+	recvMu sync.Mutex
 }
 
 // TID returns the task's identity.
@@ -174,34 +202,78 @@ func (t *Task) TID() TID { return t.tid }
 // Name returns the task's spawn name.
 func (t *Task) Name() string { return t.name }
 
-// Send packs the buffer into a message and enqueues it at dst. Delivery
-// is reliable and per-sender ordered. Sending to a halted system or an
+// Send enqueues the buffer at dst without copying: ownership of the
+// packed bytes transfers to the receiver, which releases them back to
+// the arena. Delivery is reliable and per-sender ordered. A buffer can
+// be sent only once, and must not be packed into afterwards (the
+// bufreuse analyzer enforces both). Sending to a halted system or an
 // unknown task returns an error.
 func (t *Task) Send(dst TID, tag int, buf *Buffer) error {
 	target, err := t.sys.task(dst)
 	if err != nil {
 		return err
 	}
-	wire := make([]byte, len(buf.data))
-	copy(wire, buf.data)
-	m := Message{Src: t.tid, Tag: tag, buf: wire}
-	target.mu.Lock()
-	defer target.mu.Unlock()
-	if target.halted {
-		return ErrHalted
+	w, err := buf.adopt()
+	if err != nil {
+		return err
 	}
-	target.mbox = append(target.mbox, m)
-	target.cond.Broadcast()
-	return nil
+	return target.deliverOne(Message{Src: t.tid, Tag: tag, buf: buf.data, w: w})
 }
 
-// Mcast sends the buffer to every listed destination (PVM's pvm_mcast).
+// SendBatch enqueues one message per buffer at dst under a single
+// mailbox lock acquisition, preserving slice order. Each buffer is
+// adopted exactly as in Send.
+func (t *Task) SendBatch(dst TID, tag int, bufs []*Buffer) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	target, err := t.sys.task(dst)
+	if err != nil {
+		return err
+	}
+	ms := make([]Message, len(bufs))
+	for i, buf := range bufs {
+		w, err := buf.adopt()
+		if err != nil {
+			return err
+		}
+		ms[i] = Message{Src: t.tid, Tag: tag, buf: buf.data, w: w}
+	}
+	return target.deliverBatch(ms)
+}
+
+// Mcast sends the buffer to every listed destination (PVM's
+// pvm_mcast), skipping the sender itself. All destinations share one
+// wire buffer, reference-counted by the fan-out; no per-destination
+// copy is made. Every destination is resolved up front, so an unknown
+// TID fails the multicast before any delivery.
 func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error {
+	var arr [16]*Task
+	targets := arr[:0]
 	for _, d := range dsts {
 		if d == t.tid {
 			continue
 		}
-		if err := t.Send(d, tag, buf); err != nil {
+		target, err := t.sys.task(d)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target)
+	}
+	if len(targets) == 0 {
+		return nil // nothing adopted; the buffer stays usable
+	}
+	w, err := buf.adopt()
+	if err != nil {
+		return err
+	}
+	w.retain(int32(len(targets) - 1))
+	for i, target := range targets {
+		if err := target.deliverOne(Message{Src: t.tid, Tag: tag, buf: buf.data, w: w}); err != nil {
+			// The undelivered tail's references die with the error.
+			for j := i; j < len(targets); j++ {
+				w.release()
+			}
 			return err
 		}
 	}
@@ -212,18 +284,20 @@ func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error {
 // wildcard) is available and removes it from the mailbox. Matching
 // respects arrival order among matching messages.
 func (t *Task) Recv(src TID, tag int) (Message, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for {
-		if i := t.match(src, tag); i >= 0 {
-			m := t.mbox[i]
-			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+		m, ver, ok := t.recvOnce(src, tag)
+		if ok {
 			return m, nil
 		}
-		if t.halted {
+		t.sendMu.Lock()
+		for t.seq == ver && !t.halted {
+			t.cond.Wait()
+		}
+		halted := t.halted && t.seq == ver
+		t.sendMu.Unlock()
+		if halted {
 			return Message{}, ErrHalted
 		}
-		t.cond.Wait()
 	}
 }
 
@@ -237,27 +311,33 @@ func (t *Task) RecvTimeout(src TID, tag int, d time.Duration) (Message, error) {
 	if d > 0 {
 		// The timer only wakes the cond; the loop re-checks the clock.
 		timer = time.AfterFunc(d, func() {
-			t.mu.Lock()
+			t.sendMu.Lock()
 			t.cond.Broadcast()
-			t.mu.Unlock()
+			t.sendMu.Unlock()
 		})
 		defer timer.Stop()
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for {
-		if i := t.match(src, tag); i >= 0 {
-			m := t.mbox[i]
-			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+		m, ver, ok := t.recvOnce(src, tag)
+		if ok {
 			return m, nil
 		}
-		if t.halted {
+		t.sendMu.Lock()
+		for t.seq == ver && !t.halted && time.Now().Before(deadline) {
+			t.cond.Wait()
+		}
+		halted := t.halted && t.seq == ver
+		t.sendMu.Unlock()
+		if halted {
 			return Message{}, ErrHalted
 		}
 		if !time.Now().Before(deadline) {
+			// One final drain so a message racing the deadline wins.
+			if m, _, ok := t.recvOnce(src, tag); ok {
+				return m, nil
+			}
 			return Message{}, fmt.Errorf("pvm: recv(src=%d, tag=%d) after %v: %w", src, tag, d, ErrTimeout)
 		}
-		t.cond.Wait()
 	}
 }
 
@@ -265,66 +345,66 @@ func (t *Task) RecvTimeout(src TID, tag int, d time.Duration) (Message, error) {
 // error (wrapped with ErrTimeout for deadline expiry) once ctx is done.
 func (t *Task) RecvContext(ctx context.Context, src TID, tag int) (Message, error) {
 	stop := context.AfterFunc(ctx, func() {
-		t.mu.Lock()
+		t.sendMu.Lock()
 		t.cond.Broadcast()
-		t.mu.Unlock()
+		t.sendMu.Unlock()
 	})
 	defer stop()
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for {
-		if i := t.match(src, tag); i >= 0 {
-			m := t.mbox[i]
-			t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
+		m, ver, ok := t.recvOnce(src, tag)
+		if ok {
 			return m, nil
 		}
-		if t.halted {
+		t.sendMu.Lock()
+		for t.seq == ver && !t.halted && ctx.Err() == nil {
+			t.cond.Wait()
+		}
+		halted := t.halted && t.seq == ver
+		t.sendMu.Unlock()
+		if halted {
 			return Message{}, ErrHalted
 		}
 		if err := ctx.Err(); err != nil {
+			// One final drain so a message racing the cancellation wins.
+			if m, _, ok := t.recvOnce(src, tag); ok {
+				return m, nil
+			}
 			if errors.Is(err, context.DeadlineExceeded) {
 				return Message{}, fmt.Errorf("pvm: recv(src=%d, tag=%d): %w: %w", src, tag, ErrTimeout, err)
 			}
 			return Message{}, fmt.Errorf("pvm: recv(src=%d, tag=%d): %w", src, tag, err)
 		}
-		t.cond.Wait()
 	}
 }
 
 // TryRecv is Recv without blocking; ok reports whether a match existed.
 func (t *Task) TryRecv(src TID, tag int) (Message, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if i := t.match(src, tag); i >= 0 {
-		m := t.mbox[i]
-		t.mbox = append(t.mbox[:i], t.mbox[i+1:]...)
-		return m, true
-	}
-	return Message{}, false
+	m, _, ok := t.recvOnce(src, tag)
+	return m, ok
 }
 
 // Probe reports whether a matching message is queued, without consuming
 // it (PVM's pvm_probe).
 func (t *Task) Probe(src TID, tag int) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.match(src, tag) >= 0
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	t.drainLocked()
+	_, q := t.findLocked(src, tag)
+	return q != nil
 }
 
 // Pending returns the number of queued messages.
 func (t *Task) Pending() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.mbox)
-}
-
-func (t *Task) match(src TID, tag int) int {
-	for i, m := range t.mbox {
-		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
-			return i
-		}
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	n := 0
+	for _, q := range t.queues {
+		n += q.len()
 	}
-	return -1
+	t.sendMu.Lock()
+	n += len(t.staged)
+	t.sendMu.Unlock()
+	return n
 }
 
 type barrier struct {
