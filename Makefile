@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race chaos verify fuzz bench clean
+.PHONY: check build vet lint test race chaos verify fuzz bench cover clean
 
 check: build vet lint race chaos verify
 
@@ -45,15 +45,30 @@ verify:
 # (comparable across runs) plus the figure benchmarks, then emits
 # machine-readable BENCH_PR4.json: ns/op, B/op and allocs/op per
 # benchmark, with improvement factors against the committed pre-PR4
-# baseline. The send path is gated at >= 2x fewer allocs/op.
+# baseline. Two gates: the send path keeps its >= 2x allocs/op win over
+# the pre-PR4 baseline, and the observability-off send path
+# (BenchmarkSendRecvObsvOff) stays within 5% of BenchmarkSendRecv on
+# ns/op and allocs/op in the same run.
 BENCHTIME ?= 5000x
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./internal/pvm/ | tee bench/pvm.txt
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench/figures.txt
 	$(GO) run ./cmd/hbspk-benchjson -baseline bench/baseline_pre_pr4.txt \
-		-min-alloc-improvement 'BenchmarkSendRecv:2,BenchmarkMcastFanout:2' \
+		-min-alloc-improvement 'BenchmarkSendRecv/:2,BenchmarkMcastFanout:2' \
+		-max-rel 'BenchmarkSendRecvObsvOff=BenchmarkSendRecv:1.05' \
 		-o BENCH_PR4.json bench/pvm.txt bench/figures.txt
 	@echo wrote BENCH_PR4.json
+
+# cover enforces the coverage floor: total statement coverage must not
+# drop below bench/coverage_baseline.txt (percent, one line). The
+# profile lands in bench/cover.out for go tool cover -html browsing.
+cover:
+	$(GO) test -coverprofile=bench/cover.out ./...
+	@total=$$($(GO) tool cover -func=bench/cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat bench/coverage_baseline.txt); \
+	echo "total coverage $${total}% (floor $${floor}%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $${total}% fell below the $${floor}% floor"; exit 1; }
 
 # fuzz gives each pvm wire-format fuzzer a short budget; CI smoke, not a
 # campaign.

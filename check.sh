@@ -38,6 +38,16 @@ go run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
 go run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
 go run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
 
+# Coverage floor: total statement coverage must not drop below the
+# baseline recorded in bench/coverage_baseline.txt.
+coverout=$(mktemp)
+go test -coverprofile="$coverout" ./... >/dev/null
+total=$(go tool cover -func="$coverout" | awk '/^total:/ {sub(/%/,"",$3); print $3}')
+rm -f "$coverout"
+floor=$(cat bench/coverage_baseline.txt)
+echo "total coverage ${total}% (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }'
+
 # Wire-format fuzzers, ~15s each: CI smoke, not a campaign.
 go test ./internal/pvm/ -run '^$' -fuzz FuzzBufferRoundTrip -fuzztime 15s
 go test ./internal/pvm/ -run '^$' -fuzz FuzzUnpack -fuzztime 15s

@@ -46,12 +46,25 @@ type Improvement struct {
 	AllocsFactor float64 `json:"allocs_factor,omitempty"`
 }
 
+// Relative compares two benchmarks from the same run (current/base
+// ratios: 1.0 means parity, above 1 means the current one is slower).
+// Used by the observability overhead gate, where the instrumented-off
+// path must stay within a few percent of the uninstrumented baseline.
+type Relative struct {
+	Name        string  `json:"name"`
+	Base        string  `json:"base"`
+	NsRel       float64 `json:"ns_rel"`
+	AllocsRel   float64 `json:"allocs_rel"`
+	AllocsDelta float64 `json:"allocs_delta"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Env          map[string]string `json:"env,omitempty"`
 	Benchmarks   []Benchmark       `json:"benchmarks"`
 	Baseline     []Benchmark       `json:"baseline,omitempty"`
 	Improvements []Improvement     `json:"improvements,omitempty"`
+	Relatives    []Relative        `json:"relatives,omitempty"`
 }
 
 // gomaxprocsSuffix is the trailing -N go test appends to benchmark
@@ -140,6 +153,8 @@ func main() {
 	baseline := flag.String("baseline", "", "pre-change `go test -bench` output to diff against")
 	minAlloc := flag.String("min-alloc-improvement", "",
 		"fail unless every benchmark matching prefix improved allocs/op by factor (comma-separated prefix:factor pairs)")
+	maxRel := flag.String("max-rel", "",
+		"fail unless every benchmark with prefix stays within factor of its in-run partner on ns/op and allocs/op (comma-separated prefix=basePrefix:factor clauses)")
 	flag.Parse()
 
 	rep := Report{Env: map[string]string{}}
@@ -178,6 +193,11 @@ func main() {
 		}
 	}
 
+	var relErr error
+	if *maxRel != "" {
+		relErr = checkRelGate(&rep, *maxRel)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -196,11 +216,94 @@ func main() {
 			fatal(err)
 		}
 	}
+	if relErr != nil {
+		fatal(relErr)
+	}
+}
+
+// checkRelGate enforces "prefix=basePrefix:factor" in-run pair limits:
+// every benchmark whose name starts with prefix must have a partner in
+// the same run (prefix swapped for basePrefix) and stay within factor
+// of it on ns/op and allocs/op. Computed pairs are appended to
+// rep.Relatives so the JSON artifact records the margins even when the
+// gate trips.
+func checkRelGate(rep *Report, spec string) error {
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	var firstErr error
+	for _, clause := range strings.Split(spec, ",") {
+		pair, factorStr, ok := strings.Cut(clause, ":")
+		prefix, basePrefix, ok2 := strings.Cut(pair, "=")
+		if !ok || !ok2 {
+			return fmt.Errorf("bad -max-rel clause %q (want prefix=basePrefix:factor)", clause)
+		}
+		limit, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad factor in %q: %v", clause, err)
+		}
+		matched := false
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, prefix) {
+				continue
+			}
+			baseName := basePrefix + strings.TrimPrefix(b.Name, prefix)
+			base, ok := byName[baseName]
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: no in-run partner %s", b.Name, baseName)
+				}
+				continue
+			}
+			matched = true
+			rel := Relative{
+				Name: b.Name, Base: baseName,
+				NsRel:       relRatio(b.NsPerOp, base.NsPerOp),
+				AllocsRel:   relRatio(b.AllocsPerOp, base.AllocsPerOp),
+				AllocsDelta: b.AllocsPerOp - base.AllocsPerOp,
+			}
+			rep.Relatives = append(rep.Relatives, rel)
+			if rel.NsRel > limit && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %.1f ns/op vs %s's %.1f (%.3fx, limit %.2fx)",
+					b.Name, b.NsPerOp, baseName, base.NsPerOp, rel.NsRel, limit)
+			}
+			// Zero-allocation pairs compare by absolute delta: a ratio
+			// against 0 allocs/op is meaningless.
+			allocsOver := rel.AllocsRel > limit || (base.AllocsPerOp == 0 && b.AllocsPerOp > 0)
+			if allocsOver && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %.0f allocs/op vs %s's %.0f (limit %.2fx)",
+					b.Name, b.AllocsPerOp, baseName, base.AllocsPerOp, limit)
+			}
+		}
+		if !matched && firstErr == nil {
+			firstErr = fmt.Errorf("no benchmark matches -max-rel prefix %q", prefix)
+		}
+	}
+	return firstErr
+}
+
+// relRatio is cur/base with 0-base parity convention.
+func relRatio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return 0 // flagged separately via AllocsDelta / the zero check
+	}
+	return cur / base
 }
 
 // checkAllocGate enforces "prefix:factor" allocation-improvement
-// floors against the computed improvements.
+// floors against the computed improvements. A benchmark whose current
+// run is already at zero allocs/op satisfies any floor: the ratio
+// baseline/0 is undefined (reported as 0), but zero is the best
+// possible outcome, not a regression.
 func checkAllocGate(rep Report, spec string) error {
+	curAllocs := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		curAllocs[b.Name] = b.AllocsPerOp
+	}
 	for _, clause := range strings.Split(spec, ",") {
 		prefix, factorStr, ok := strings.Cut(clause, ":")
 		if !ok {
@@ -216,6 +319,9 @@ func checkAllocGate(rep Report, spec string) error {
 				continue
 			}
 			matched = true
+			if curAllocs[imp.Name] == 0 {
+				continue
+			}
 			if imp.AllocsFactor < floor {
 				return fmt.Errorf("%s: allocs/op improved only %.2fx, need >= %.2fx",
 					imp.Name, imp.AllocsFactor, floor)

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"hbspk/internal/fabric"
 	"hbspk/internal/hbsp"
 	"hbspk/internal/model"
+	"hbspk/internal/obsv"
 )
 
 func loadMachine(name string) (*model.Tree, error) {
@@ -110,6 +112,12 @@ func main() {
 	verify := flag.Bool("verify", false, "arm the happens-before determinism checker (vector clocks, zero modeled cost)")
 	explore := flag.Int("explore", 0, "replay under N seeded delivery-order permutations and diff final states (0 = off)")
 	exploreSeed := flag.Int64("explore-seed", 1, "delivery-order permutation seed for -explore")
+	eventsOut := flag.String("events-out", "", "observability: write the run's span events as JSONL to this path")
+	metricsOut := flag.String("metrics-out", "", "observability: write the run's metrics (Prometheus text format) to this path")
+	traceOut := flag.String("trace-out", "", "observability: write the run's spans as Chrome trace-event JSON (load in chrome://tracing or Perfetto) to this path")
+	obsvSample := flag.Int("obsv-sample", 1, "observability: keep one of every N delivery spans (metrics still count all)")
+	debugAddr := flag.String("debug-addr", "", "observability: serve /metrics, /debug/pprof and /debug/vars on this address during the run")
+	attrib := flag.Bool("attrib", false, "print predicted-vs-measured attribution tables (implied by any observability output flag)")
 	flag.Parse()
 
 	tr, err := loadMachine(*machine)
@@ -153,6 +161,22 @@ func main() {
 	eng.Chaos = plan
 	eng.DetectFactor = *detect
 	eng.Verify = *verify
+
+	// One recorder feeds every observability sink; exporting is
+	// post-quiesce, the debug endpoint live.
+	var rec *obsv.Recorder
+	if *eventsOut != "" || *metricsOut != "" || *traceOut != "" || *debugAddr != "" || *attrib {
+		rec = obsv.New(obsv.Config{SampleEvery: *obsvSample})
+		eng.Obsv = rec
+	}
+	if *debugAddr != "" {
+		ds, err := obsv.ServeDebug(*debugAddr, rec.Metrics())
+		if err != nil {
+			fail(1, err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "hbspk-sim: debug endpoint on http://%s/metrics\n", ds.Addr)
+	}
 
 	if *explore > 0 {
 		// Exploration always arms the checker: a permuted schedule that
@@ -200,6 +224,67 @@ func main() {
 			fail(1, err)
 		}
 	}
+
+	if rec != nil {
+		events := rec.Events()
+		fmt.Println()
+		fmt.Print(obsv.AttribTable(
+			"attribution: predicted T_i vs measured (virtual clock)",
+			obsv.Attribute(events)).String())
+		if bd, ok := closedForm(tr, *coll, *n); ok {
+			fmt.Println()
+			fmt.Print(obsv.AttributeBreakdown(
+				"closed-form "+*coll+" prediction vs run", bd, rep).String())
+		}
+		writeTo(*eventsOut, func(w io.Writer) error { return obsv.WriteJSONL(w, events) })
+		writeTo(*traceOut, func(w io.Writer) error { return obsv.WriteChromeTrace(w, events) })
+		writeTo(*metricsOut, rec.Metrics().WritePrometheus)
+		if lost := rec.Lost(); lost > 0 {
+			fmt.Fprintf(os.Stderr, "hbspk-sim: span ring overflowed, %d events lost (raise obsv capacity or -obsv-sample)\n", lost)
+		}
+	}
+}
+
+// writeTo creates path and runs the exporter into it; an empty path is
+// a disabled sink.
+func writeTo(path string, fn func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(1, err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fail(1, err)
+	}
+}
+
+// closedForm returns the analytic cost.Breakdown for collectives with
+// a closed-form model, matching the distributions program() uses.
+func closedForm(tr *model.Tree, coll string, n int) (cost.Breakdown, bool) {
+	rootPid := tr.Pid(tr.FastestLeaf())
+	d := cost.BalancedDist(tr, n)
+	switch coll {
+	case "gather":
+		return cost.GatherFlat(tr, rootPid, d), true
+	case "gather-hier":
+		return cost.GatherHier(tr, d), true
+	case "scatter-hier":
+		return cost.ScatterHier(tr, d), true
+	case "bcast1":
+		return cost.BcastOnePhaseFlat(tr, rootPid, n), true
+	case "bcast2":
+		return cost.BcastTwoPhaseFlat(tr, rootPid, d), true
+	case "bcast-hier":
+		return cost.BcastHier(tr, n, false), true
+	case "allgather":
+		return cost.AllGatherFlat(tr, d), true
+	case "allgather-hier":
+		return cost.AllGatherHierCost(tr, d), true
+	}
+	return cost.Breakdown{}, false
 }
 
 // program builds the SPMD body for the chosen collective.

@@ -18,6 +18,7 @@ const (
 // subtree: the processor with pid root sends all of data to every other
 // processor in one super^i-step. Every participant returns the data.
 func BcastOnePhase(c hbsp.Ctx, scope *model.Machine, root int, data []byte) ([]byte, error) {
+	defer span(c, "bcast-one-phase")(len(data))
 	pids := participants(c, scope)
 	if c.Pid() == root {
 		for _, pid := range pids {
@@ -51,6 +52,7 @@ func BcastOnePhase(c hbsp.Ctx, scope *model.Machine, root int, data []byte) ([]b
 // unchanged if the first phase distributes c_j·n pieces — pass
 // BalancedPieces for that policy.
 func BcastTwoPhase(c hbsp.Ctx, scope *model.Machine, root int, data []byte, d Dist) ([]byte, error) {
+	defer span(c, "bcast-two-phase")(len(data))
 	pids := participants(c, scope)
 	me := indexOf(pids, c.Pid())
 	if me < 0 {
@@ -124,6 +126,7 @@ func BcastTwoPhase(c hbsp.Ctx, scope *model.Machine, root int, data []byte, d Di
 // fastest processor may supply data; every processor returns the full
 // data.
 func BcastHier(c hbsp.Ctx, data []byte, twoPhaseTop bool) ([]byte, error) {
+	defer span(c, "bcast-hier")(len(data))
 	t := c.Tree()
 	if t.K() == 0 {
 		return data, nil

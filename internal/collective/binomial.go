@@ -26,6 +26,7 @@ const tagBinomial = 10
 // holders earliest (§4.1's first principle) when root is the
 // coordinator and participant order is pid order.
 func BcastBinomial(c hbsp.Ctx, scope *model.Machine, root int, data []byte) ([]byte, error) {
+	defer span(c, "bcast-binomial")(len(data))
 	pids := participants(c, scope)
 	p := len(pids)
 	rootIdx := indexOf(pids, root)

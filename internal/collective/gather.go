@@ -15,6 +15,7 @@ const tagGather = 1
 // origin pid. A processor never sends to itself (§5.2), so the root's
 // own piece costs nothing. Non-root processors return nil.
 func Gather(c hbsp.Ctx, scope *model.Machine, root int, local []byte) (map[int][]byte, error) {
+	defer span(c, "gather")(len(local))
 	if c.Pid() != root {
 		if err := c.Send(root, tagGather, local); err != nil {
 			return nil, err
@@ -42,6 +43,7 @@ func Gather(c hbsp.Ctx, scope *model.Machine, root int, local []byte) (map[int][
 // coordinator — holds all pieces. Only that processor returns a non-nil
 // map.
 func GatherHier(c hbsp.Ctx, local []byte) (map[int][]byte, error) {
+	defer span(c, "gather-hier")(len(local))
 	t := c.Tree()
 	// accumulated holds the pieces this processor currently carries.
 	accumulated := map[int][]byte{c.Pid(): local}

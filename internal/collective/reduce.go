@@ -77,6 +77,7 @@ func unpackVec(p []byte) ([]int64, error) {
 // root over the scope's subtree, in one super^i-step: all vectors travel
 // to the root, which folds them in pid order. Non-roots return nil.
 func Reduce(c hbsp.Ctx, scope *model.Machine, root int, local []int64, op Op) ([]int64, error) {
+	defer span(c, "reduce")(8 * len(local))
 	if c.Pid() != root {
 		if err := c.Send(root, tagReduce, packVec(local)); err != nil {
 			return nil, err
@@ -110,6 +111,7 @@ func Reduce(c hbsp.Ctx, scope *model.Machine, root int, local []int64, op Op) ([
 // hierarchical win on slow wide-area networks. The machine's fastest
 // processor returns the result; others return nil.
 func ReduceHier(c hbsp.Ctx, local []int64, op Op) ([]int64, error) {
+	defer span(c, "reduce-hier")(8 * len(local))
 	t := c.Tree()
 	acc := append([]int64(nil), local...)
 	carrying := true
@@ -152,6 +154,7 @@ func ReduceHier(c hbsp.Ctx, local []int64, op Op) ([]int64, error) {
 // AllReduce is ReduceHier followed by a hierarchical broadcast of the
 // result: every processor returns the combined vector.
 func AllReduce(c hbsp.Ctx, local []int64, op Op) ([]int64, error) {
+	defer span(c, "all-reduce")(8 * len(local))
 	red, err := ReduceHier(c, local, op)
 	if err != nil {
 		return nil, err
@@ -173,6 +176,7 @@ func AllReduce(c hbsp.Ctx, local []int64, op Op) ([]int64, error) {
 // which computes every prefix (charging (p-1)·width combines), then
 // scatter of prefix i to participant i.
 func Scan(c hbsp.Ctx, scope *model.Machine, local []int64, op Op) ([]int64, error) {
+	defer span(c, "scan")(8 * len(local))
 	root := c.Tree().Pid(scope.Coordinator())
 	gathered, err := Gather(c, scope, root, packVec(local))
 	if err != nil {

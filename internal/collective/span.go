@@ -1,0 +1,33 @@
+package collective
+
+import "hbspk/internal/hbsp"
+
+// span opens a collective span on the Ctx's run recorder and returns
+// the closer. The intended use is a single line at the top of a
+// collective entry point:
+//
+//	defer span(c, "gather")(len(local))
+//
+// which captures the start time at entry and records the span at
+// return with the payload size the call handled. When observability is
+// off (or the Ctx is a test double) the closer is a no-op.
+func span(c hbsp.Ctx, name string) func(bytes int) {
+	rec := hbsp.RecorderOf(c)
+	if rec == nil {
+		return func(int) {}
+	}
+	start := hbsp.NowOf(c)
+	pid := c.Pid()
+	return func(bytes int) {
+		rec.Collective(name, pid, start, hbsp.NowOf(c), int64(bytes))
+	}
+}
+
+// mapBytes sums the payload sizes of a keyed piece map (span sizing).
+func mapBytes(m map[int][]byte) int {
+	n := 0
+	for _, b := range m {
+		n += len(b)
+	}
+	return n
+}

@@ -10,6 +10,7 @@ import (
 
 	"hbspk/internal/fabric"
 	"hbspk/internal/model"
+	"hbspk/internal/obsv"
 	"hbspk/internal/pvm"
 	"hbspk/internal/trace"
 )
@@ -64,6 +65,13 @@ type Concurrent struct {
 	// ErrPeerFailed of a detected crash. Off by default — crash
 	// detection does not need it, it exists to model partitions.
 	DetectFactor float64
+
+	// Obsv, when non-nil, receives structured spans and metrics:
+	// superstep spans (recorded by each scope's live coordinator,
+	// measured only — the wall-clock engine makes no model prediction),
+	// per-processor barrier waits, sampled deliveries, and chaos
+	// injections. Times are microseconds since the run started.
+	Obsv *obsv.Recorder
 
 	// Verify enables the happens-before checker (DESIGN.md §5.3): every
 	// message carries the sender's vector clock and a payload checksum
@@ -569,6 +577,7 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	// superstep in progress (nothing queued is flushed), and cancels the
 	// barriers of already parked members so they observe the failure.
 	if c.eng.Chaos.CrashNow(c.pid, ord, 0) {
+		c.eng.Obsv.Chaos("crash", ord, c.pid, c.pid, c.nowMicros())
 		c.shared.crashSelf(c.pid, ord)
 		return fmt.Errorf("%w (p%d at step %d)", errCrashStop, c.pid, ord)
 	}
@@ -603,6 +612,14 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 			m.fated, m.drop, m.dup = true, f.Drop, f.Duplicate
 			if f.Delay > 0 {
 				m.holdUntil = ord + f.Delay
+			}
+			switch {
+			case f.Drop:
+				c.eng.Obsv.Chaos("drop", ord, m.src, m.dst, c.nowMicros())
+			case f.Duplicate:
+				c.eng.Obsv.Chaos("duplicate", ord, m.src, m.dst, c.nowMicros())
+			case f.Delay > 0:
+				c.eng.Obsv.Chaos("delay", ord, m.src, m.dst, c.nowMicros())
 			}
 		}
 		if m.holdUntil > ord {
@@ -669,6 +686,7 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		return &ErrPeerFailed{Pid: deadPid, Step: info.step, Cause: info.cause}
 	}
 	deadline := c.shared.barrierDeadline(c.pid, c.eng.DetectFactor)
+	bEnter := time.Since(c.shared.started)
 	var err error
 	var deposits map[pvm.TID][]byte
 	if c.eng.Verify {
@@ -680,6 +698,10 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		err = c.task.BarrierTimeout(wait.barrier, count, deadline)
 	}
 	c.shared.leaveSync(c.pid, time.Since(c.shared.started)-start)
+	if err == nil {
+		c.eng.Obsv.BarrierWait(ord, c.pid, wait.scope, scope.Level,
+			micros(bEnter), c.nowMicros())
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, pvm.ErrCanceled):
@@ -764,6 +786,7 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		}
 		c.inbox = append(c.inbox, Message{Src: int(src), Tag: int(tag), Payload: payload})
 		recvBytes += len(payload)
+		c.eng.Obsv.Delivery(ord, int(src), c.pid, int(tag), int64(len(payload)), c.nowMicros())
 		m.Release()
 	}
 	if c.eng.Verify {
@@ -805,8 +828,9 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	if c.liveCoordinator(scope) == c.leaf {
 		end := time.Since(c.shared.started)
 		c.shared.mu.Lock()
+		idx := len(c.shared.steps)
 		c.shared.steps = append(c.shared.steps, trace.Step{
-			Index:        len(c.shared.steps),
+			Index:        idx,
 			Label:        label,
 			ScopeLabel:   scope.Label(),
 			ScopeName:    scope.Name,
@@ -818,9 +842,18 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 			End:          float64(end) / float64(time.Microsecond),
 		})
 		c.shared.mu.Unlock()
+		c.eng.Obsv.Superstep(idx, label, scope.Label(), scope.Level,
+			micros(start), micros(end), 0, int64(sentBytes+recvBytes))
 	}
 	return nil
 }
+
+// micros converts an engine-relative duration to the microsecond time
+// base the observability layer uses for wall-clock runs.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// nowMicros is the processor's current time on the run clock.
+func (c *cctx) nowMicros() float64 { return micros(time.Since(c.shared.started)) }
 
 // deadPid reports whether pid is chaos-dead.
 func (c *cctx) deadPid(pid int) bool {

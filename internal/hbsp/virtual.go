@@ -9,6 +9,7 @@ import (
 	"hbspk/internal/cost"
 	"hbspk/internal/fabric"
 	"hbspk/internal/model"
+	"hbspk/internal/obsv"
 	"hbspk/internal/trace"
 )
 
@@ -49,6 +50,12 @@ type Virtual struct {
 	// from the last checkpointed barrier via Restore.
 	Ckpt            *CheckpointStore
 	CheckpointEvery int
+
+	// Obsv, when non-nil, receives structured spans and metrics for the
+	// run: superstep spans carrying the model's predicted T_i alongside
+	// the charged time, per-processor barrier waits, sampled message
+	// deliveries, and chaos injections. Times are on the virtual clock.
+	Obsv *obsv.Recorder
 
 	// Verify arms the happens-before checker (DESIGN.md §5.3): every
 	// message carries the sender's vector clock and a payload checksum,
@@ -156,6 +163,9 @@ type vctx struct {
 	outbox []pendingMsg
 	inbox  []Message
 	seq    int
+	// clock is this processor's virtual time as of its last resume,
+	// staged by the engine while the processor is parked (see obsvNow).
+	clock float64
 
 	// failedView is the dead-pid set this processor has acknowledged,
 	// staged by the engine before each resume.
@@ -470,6 +480,7 @@ func (v *Virtual) stageSaves(st *runState, pid int, saves map[string][]byte) {
 // the superstep in progress), purges messages addressed to it, and
 // notifies every parked survivor whose scope contains it.
 func (v *Virtual) crash(st *runState, ctxs []*vctx, pid int, req *vrequest) {
+	v.Obsv.Chaos("crash", req.ord, pid, pid, st.clocks[pid])
 	st.dead[pid] = &failInfo{step: req.ord, cause: "crash-stop"}
 	req.resume <- fmt.Errorf("%w (p%d at step %d)", errCrashStop, pid, req.ord)
 
@@ -536,6 +547,7 @@ func (v *Virtual) failSync(st *runState, ctxs []*vctx, pid int, scope *model.Mac
 		}
 	}
 	st.clocks[pid] += v.detectCharge(st, pid, scope)
+	ctxs[pid].clock = st.clocks[pid]
 	union := make(map[int]bool)
 	for _, perScope := range st.acked[pid] {
 		for dp := range perScope {
@@ -662,7 +674,11 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 		if st.clocks[pid] > start {
 			start = st.clocks[pid]
 		}
-		works[pid] = r.work * v.Chaos.Slowdown(pid, r.ord)
+		slow := v.Chaos.Slowdown(pid, r.ord)
+		if slow != 1 {
+			v.Obsv.Chaos("straggler", len(st.steps), pid, pid, st.clocks[pid])
+		}
+		works[pid] = r.work * slow
 		if label == "" {
 			label = r.label
 		}
@@ -697,6 +713,14 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 			if f.Delay > 0 {
 				m.holdUntil = stepIdx + f.Delay
 			}
+			switch {
+			case f.Drop:
+				v.Obsv.Chaos("drop", stepIdx, m.src, m.dst, start)
+			case f.Duplicate:
+				v.Obsv.Chaos("duplicate", stepIdx, m.src, m.dst, start)
+			case f.Delay > 0:
+				v.Obsv.Chaos("delay", stepIdx, m.src, m.dst, start)
+			}
 		}
 		if m.holdUntil > stepIdx {
 			rest = append(rest, m)
@@ -720,6 +744,20 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 	for _, pid := range pids {
 		st.stepSum[pid] += res.Time
 		st.stepN[pid]++
+	}
+
+	if v.Obsv != nil {
+		// Predicted T_i(λ) = w_i + g·h + L_{i,j} from the pure model;
+		// the measured span (end - start) additionally carries configured
+		// overheads, noise, and barrier-entry skew.
+		pred := res.W + v.tree.G*res.H + res.Sync
+		v.Obsv.Superstep(stepIdx, label, scope.Label(), scope.Level, start, end, pred, int64(res.Bytes))
+		v.Obsv.HRelation(res.H)
+		for _, pid := range pids {
+			// st.clocks[pid] still holds the barrier-entry time; clocks
+			// advance to end only when the step resumes below.
+			v.Obsv.BarrierWait(stepIdx, pid, scope.Label(), scope.Level, st.clocks[pid], end)
+		}
 	}
 
 	// Stage inboxes in sender/seq order — except under schedule
@@ -767,6 +805,7 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 					v.inboxFree = v.inboxFree[:n-1]
 				}
 			}
+			v.Obsv.Delivery(stepIdx, m.src, m.dst, m.tag, int64(len(m.payload)), end)
 			v.inboxes[m.dst] = append(v.inboxes[m.dst], Message{Src: m.src, Tag: m.tag, Payload: m.payload})
 			if v.Verify {
 				v.inmetas[m.dst] = append(v.inmetas[m.dst],
@@ -824,6 +863,7 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 
 	for _, pid := range pids {
 		st.clocks[pid] = end + ckptCost[pid]
+		ctxs[pid].clock = st.clocks[pid]
 		r := st.pending[pid]
 		st.pending[pid] = nil
 		r.resume <- nil

@@ -1,0 +1,115 @@
+package obsv
+
+import (
+	"fmt"
+
+	"hbspk/internal/cost"
+	"hbspk/internal/trace"
+)
+
+// Attribution joins the cost model's predicted per-superstep time
+// T_i(λ) = w_i + g·h + L_{i,j} against what the engine measured,
+// mirroring the paper's Tables 2–3 (predicted vs measured with an
+// accuracy factor per row).
+
+// AttribRow is one superstep of the attribution report.
+type AttribRow struct {
+	Step  int
+	Label string
+	Scope string
+	Level int
+	Bytes int64
+	// Pred is the model's T_i; Measured the engine's span length
+	// (virtual units or µs, per the engine); Ratio is Measured/Pred
+	// (>1 = slower than the model, 0 when Pred is 0).
+	Pred, Measured, Ratio float64
+}
+
+// Attribute extracts attribution rows from a span snapshot's
+// superstep events, in execution order.
+func Attribute(events []Event) []AttribRow {
+	var rows []AttribRow
+	for _, e := range events {
+		if e.Kind != KindSuperstep {
+			continue
+		}
+		row := AttribRow{
+			Step: int(e.Step), Label: e.Name, Scope: e.Scope,
+			Level: int(e.Level), Bytes: e.Bytes,
+			Pred: e.Pred, Measured: e.Dur(),
+		}
+		if row.Pred > 0 {
+			row.Ratio = row.Measured / row.Pred
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AttribTable renders attribution rows as a table with a totals line.
+func AttribTable(title string, rows []AttribRow) *trace.Table {
+	tb := trace.NewTable(title,
+		"#", "label", "scope", "lvl", "bytes", "predicted", "measured", "meas/pred")
+	var predSum, measSum float64
+	for _, r := range rows {
+		ratio := "-"
+		if r.Pred > 0 {
+			ratio = fmt.Sprintf("%.3f", r.Ratio)
+		}
+		tb.Add(
+			fmt.Sprintf("%d", r.Step), r.Label, r.Scope,
+			fmt.Sprintf("%d", r.Level), fmt.Sprintf("%d", r.Bytes),
+			fmt.Sprintf("%.4g", r.Pred), fmt.Sprintf("%.4g", r.Measured), ratio,
+		)
+		predSum += r.Pred
+		measSum += r.Measured
+	}
+	total := "-"
+	if predSum > 0 {
+		total = fmt.Sprintf("%.3f", measSum/predSum)
+	}
+	tb.Add("", "total", "", "", "",
+		fmt.Sprintf("%.4g", predSum), fmt.Sprintf("%.4g", measSum), total)
+	return tb
+}
+
+// AttributeBreakdown joins a closed-form cost.Breakdown (the analytic
+// prediction for a whole collective) against a measured trace.Report,
+// step by step in execution order. Extra steps on either side render
+// with a "-" partner, so a step-count mismatch is visible rather than
+// silently truncated.
+func AttributeBreakdown(title string, bd cost.Breakdown, rep *trace.Report) *trace.Table {
+	tb := trace.NewTable(title,
+		"#", "predicted step", "T_pred", "measured step", "T_meas", "meas/pred")
+	n := len(bd.Steps)
+	if len(rep.Steps) > n {
+		n = len(rep.Steps)
+	}
+	var predSum, measSum float64
+	for i := 0; i < n; i++ {
+		pl, pv, ml, mv := "-", "-", "-", "-"
+		ratio := "-"
+		var pt, mt float64
+		if i < len(bd.Steps) {
+			pt = bd.Steps[i].Time(bd.G)
+			pl, pv = bd.Steps[i].Label, fmt.Sprintf("%.4g", pt)
+			predSum += pt
+		}
+		if i < len(rep.Steps) {
+			mt = rep.Steps[i].Time
+			ml, mv = rep.Steps[i].Label, fmt.Sprintf("%.4g", mt)
+			measSum += mt
+		}
+		if i < len(bd.Steps) && i < len(rep.Steps) && pt > 0 {
+			ratio = fmt.Sprintf("%.3f", mt/pt)
+		}
+		tb.Add(fmt.Sprintf("%d", i), pl, pv, ml, mv, ratio)
+	}
+	total := "-"
+	if predSum > 0 {
+		total = fmt.Sprintf("%.3f", measSum/predSum)
+	}
+	tb.Add("", "total", fmt.Sprintf("%.4g", predSum),
+		"", fmt.Sprintf("%.4g", measSum), total)
+	return tb
+}

@@ -1,0 +1,94 @@
+package obsv
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// fixtureRecorder replays a small deterministic run through a Recorder:
+// two supersteps with barriers and deliveries, a collective span, a
+// chaos injection, and substrate observations. Every exporter golden
+// test renders this same fixture.
+func fixtureRecorder() *Recorder {
+	r := New(Config{Capacity: 64})
+	r.Collective("gather", 2, 0, 260, 1200)
+	r.HRelation(900)
+	r.BarrierWait(0, 0, "cluster", 1, 80, 120)
+	r.BarrierWait(0, 1, "cluster", 1, 95, 120)
+	r.Delivery(0, 1, 0, 3, 400, 120)
+	r.Delivery(0, 2, 0, 3, 500, 120)
+	r.Superstep(0, "gather", "cluster", 1, 0, 120, 110.5, 900)
+	r.Chaos("drop", 1, 2, 0, 130)
+	r.HRelation(300)
+	r.BarrierWait(1, 0, "root", 2, 200, 260)
+	r.Delivery(1, 0, 2, 4, 300, 260)
+	r.Superstep(1, "bcast", "root", 2, 120, 260, 150, 300)
+	r.MailboxDepth(2)
+	r.MailboxDepth(7)
+	r.PoolDraw(false)
+	r.PoolDraw(true)
+	r.PoolDraw(true)
+	return r
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/obsv -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; diff below or rerun with -update\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenJSONL(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixtureRecorder().Events()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.jsonl.golden", buf.Bytes())
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureRecorder().Events()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.json.golden", buf.Bytes())
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := fixtureRecorder().Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestGoldenAttribution(t *testing.T) {
+	t.Parallel()
+	rows := Attribute(fixtureRecorder().Events())
+	tb := AttribTable("attribution: predicted T_i vs measured", rows)
+	checkGolden(t, "attribution.txt.golden", []byte(tb.String()))
+}

@@ -1,0 +1,67 @@
+package obsv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebugMetricsAndVars(t *testing.T) {
+	t.Parallel()
+	rec := fixtureRecorder()
+	ds, err := ServeDebug("127.0.0.1:0", rec.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	if !strings.Contains(body, "hbspk_supersteps_total 2") {
+		t.Errorf("/metrics missing superstep counter:\n%s", body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars returned %d", code)
+	}
+	if !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars missing expvar memstats")
+	}
+
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline returned %d", code)
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	t.Parallel()
+	if _, err := ServeDebug("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Error("bad address must fail to bind")
+	}
+}
+
+func TestDebugServerNilClose(t *testing.T) {
+	t.Parallel()
+	var ds *DebugServer
+	if err := ds.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

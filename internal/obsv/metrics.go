@@ -1,0 +1,329 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry. Metric handles (Counter, Gauge, Histogram) are
+// lock-free atomics once obtained; obtaining one takes the registry
+// lock, so hot paths hold handles instead of looking metrics up per
+// update. Families are typed at first registration; Prometheus text
+// export renders families and label sets in sorted order so output is
+// deterministic and golden-testable.
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; negative deltas are ignored.
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the gauge's value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution with cumulative
+// (Prometheus-style) bucket semantics.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricKind types a family at first registration.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one metric name: its type, help text, and children keyed by
+// serialized label set.
+type family struct {
+	kind     metricKind
+	help     string
+	bounds   []float64
+	children map[string]any // serialized labels → *Counter/*Gauge/*Histogram
+}
+
+// Registry hosts metric families. The zero value is not usable; create
+// with NewRegistry. A nil *Registry returns nil handles, which are
+// themselves no-ops, so disabled observability needs no branches.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey serializes k/v pairs into a canonical child key and the
+// rendered Prometheus label block.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(a, b int) bool { return kvs[a].k < kvs[b].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+func (g *Registry) fam(name string, kind metricKind) *family {
+	f, ok := g.families[name]
+	if !ok {
+		f = &family{kind: kind, children: make(map[string]any)}
+		g.families[name] = f
+	} else if f.kind == 0 {
+		// Help() pre-created the family untyped; first typed use wins.
+		f.kind = kind
+	}
+	return f
+}
+
+// Counter returns the counter of the family name with the given label
+// pairs (key, value, key, value, ...), creating it on first use.
+func (g *Registry) Counter(name string, labels ...string) *Counter {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f := g.fam(name, kindCounter)
+	key := labelKey(labels)
+	c, ok := f.children[key].(*Counter)
+	if !ok {
+		c = &Counter{}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge of the family name with the given label
+// pairs, creating it on first use.
+func (g *Registry) Gauge(name string, labels ...string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f := g.fam(name, kindGauge)
+	key := labelKey(labels)
+	v, ok := f.children[key].(*Gauge)
+	if !ok {
+		v = &Gauge{}
+		f.children[key] = v
+	}
+	return v
+}
+
+// Histogram returns the histogram of the family name with the given
+// bucket bounds and label pairs, creating it on first use. Bounds are
+// fixed at family creation; later calls reuse the family's bounds.
+func (g *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f := g.fam(name, kindHistogram)
+	if f.bounds == nil {
+		f.bounds = append([]float64(nil), bounds...)
+		sort.Float64s(f.bounds)
+	}
+	key := labelKey(labels)
+	h, ok := f.children[key].(*Histogram)
+	if !ok {
+		h = &Histogram{bounds: f.bounds, buckets: make([]atomic.Int64, len(f.bounds)+1)}
+		f.children[key] = h
+	}
+	return h
+}
+
+// Help sets the family's HELP text (creates an untyped-as-counter
+// family if the name is new; the first typed registration wins).
+func (g *Registry) Help(name, help string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.families[name]; ok {
+		f.help = help
+		return
+	}
+	g.families[name] = &family{help: help, children: make(map[string]any)}
+}
+
+// fmtFloat renders a sample the way Prometheus expects: integral
+// values without an exponent, the rest in shortest form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format, families and label sets sorted.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	names := make([]string, 0, len(g.families))
+	for name := range g.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := g.families[name]
+		if len(f.children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			switch m := f.children[key].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, block(key), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", name, block(key), fmtFloat(m.Value()))
+			case *Histogram:
+				cum := int64(0)
+				for i, bound := range m.bounds {
+					cum += m.buckets[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, block(join(key, `le=`+quoteFloat(bound))), cum)
+				}
+				cum += m.buckets[len(m.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, block(join(key, `le="+Inf"`)), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, block(key), fmtFloat(m.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, block(key), m.Count())
+			}
+		}
+	}
+	g.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func quoteFloat(v float64) string { return `"` + fmtFloat(v) + `"` }
+
+// block renders a serialized label key as {..} or nothing.
+func block(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// join appends one rendered label to a serialized key.
+func join(key, label string) string {
+	if key == "" {
+		return label
+	}
+	return key + "," + label
+}

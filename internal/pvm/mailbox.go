@@ -57,8 +57,12 @@ func (t *Task) deliverOne(m Message) error {
 	t.seq++
 	m.seq = t.seq
 	t.staged = append(t.staged, m)
+	depth := len(t.staged)
 	t.cond.Broadcast()
 	t.sendMu.Unlock()
+	if o := observerOf(); o != nil {
+		o.MailboxDepth(depth)
+	}
 	return nil
 }
 
@@ -74,8 +78,12 @@ func (t *Task) deliverBatch(ms []Message) error {
 		ms[i].seq = t.seq
 	}
 	t.staged = append(t.staged, ms...)
+	depth := len(t.staged)
 	t.cond.Broadcast()
 	t.sendMu.Unlock()
+	if o := observerOf(); o != nil {
+		o.MailboxDepth(depth)
+	}
 	return nil
 }
 

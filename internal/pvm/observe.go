@@ -1,0 +1,39 @@
+package pvm
+
+import "sync/atomic"
+
+// Observer receives substrate-level observability signals. It is a
+// structural seam: obsv.Recorder implements it without pvm importing
+// obsv (or vice versa). Implementations must be cheap and
+// goroutine-safe — calls come from the send path.
+type Observer interface {
+	// MailboxDepth reports a receiver's staged-mailbox depth right
+	// after a delivery.
+	MailboxDepth(depth int)
+	// PoolDraw reports one wire-buffer pool draw; hit means the draw
+	// recycled a pooled backing array rather than allocating.
+	PoolDraw(hit bool)
+}
+
+// observer is process-global: the wire pool is shared by every System
+// in the process, so the hook is too. Tests that set it must not run
+// in parallel with other tests and must restore nil.
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs (or, with nil, removes) the substrate observer.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&o)
+}
+
+// observerOf returns the installed observer or nil. One atomic load:
+// this is the entire disabled-mode cost on the send path.
+func observerOf() Observer {
+	if p := observer.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

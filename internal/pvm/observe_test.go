@@ -1,0 +1,65 @@
+package pvm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// countingObserver tallies substrate signals. Counters are atomic:
+// callbacks arrive from sender goroutines.
+type countingObserver struct {
+	depths atomic.Int64
+	draws  atomic.Int64
+}
+
+func (o *countingObserver) MailboxDepth(int)  { o.depths.Add(1) }
+func (o *countingObserver) PoolDraw(hit bool) { o.draws.Add(1) }
+
+// ping sends one message from a spawned task to another and waits for
+// both to finish.
+func ping(t *testing.T) {
+	t.Helper()
+	s := NewSystem()
+	recv := s.Spawn("recv", func(task *Task) error {
+		m, err := task.Recv(AnySource, 1)
+		if err != nil {
+			return err
+		}
+		m.Release()
+		return nil
+	})
+	s.Spawn("send", func(task *Task) error {
+		return task.Send(recv, 1, NewBuffer().PackInt32(7))
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserverInstallAndClear exercises the process-global observer
+// seam: installed, it sees every delivery and pool draw; cleared, the
+// substrate stops calling it. The observer is process-global state, so
+// this test must not run in parallel and restores nil on exit.
+func TestObserverInstallAndClear(t *testing.T) {
+	o := &countingObserver{}
+	SetObserver(o)
+	defer SetObserver(nil)
+
+	ping(t)
+	depths, draws := o.depths.Load(), o.draws.Load()
+	if depths == 0 {
+		t.Error("observer saw no mailbox depths")
+	}
+	if draws == 0 {
+		t.Error("observer saw no pool draws")
+	}
+
+	SetObserver(nil)
+	if got := observerOf(); got != nil {
+		t.Fatalf("observerOf() = %v after clear, want nil", got)
+	}
+	ping(t)
+	if o.depths.Load() != depths || o.draws.Load() != draws {
+		t.Error("cleared observer still receives callbacks")
+	}
+}

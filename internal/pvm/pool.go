@@ -30,6 +30,11 @@ var wirePool = sync.Pool{New: func() any { return new(wire) }}
 func newWire() *wire {
 	w := wirePool.Get().(*wire)
 	w.refs.Store(1)
+	if o := observerOf(); o != nil {
+		// A recycled backing still has capacity; a fresh record (or one
+		// whose oversized backing was left to the GC) does not.
+		o.PoolDraw(cap(w.data) > 0)
+	}
 	return w
 }
 
