@@ -31,6 +31,31 @@ go test -race ./...
 # unmistakable in CI output.
 go test -race -count=1 -run Chaos ./internal/fabric/ ./internal/hbsp/ ./internal/collective/
 
+# Static cost analysis (DESIGN.md §5.6): the analyzer suite plus the
+# variantcheck advisor over the repo's non-test code on the grid tree
+# must report nothing (tests deliberately exercise every variant at
+# every size, so advice there is noise), and the full-suite run must
+# finish inside the 30s wall-time budget.
+start=$(date +%s)
+go run ./cmd/hbspk-vet -skip-tests -tree grid -cost-ratio 1.2 ./...
+elapsed=$(( $(date +%s) - start ))
+echo "hbspk-vet full-suite wall time: ${elapsed}s (budget 30s)"
+[ "$elapsed" -le 30 ]
+
+# Static<->runtime conformance gate: every delivery observed in a real
+# hbspk-sim run must be explained by an edge of the exported static
+# commgraph; a forged run with an undeclared send must be rejected.
+conftmp=$(mktemp -d)
+go run ./cmd/hbspk-vet -commgraph-out "$conftmp/graph.json" ./...
+go run ./cmd/hbspk-sim -machine grid -collective gather-hier -events-out "$conftmp/run.jsonl" >/dev/null
+go run ./cmd/hbspk-vet -conform-graph "$conftmp/graph.json" -conform-events "$conftmp/run.jsonl" >/dev/null
+if go run ./cmd/hbspk-vet -conform-graph cmd/hbspk-vet/testdata/conformance/graph.json \
+	-conform-events cmd/hbspk-vet/testdata/conformance/events-undeclared.jsonl >/dev/null; then
+	echo "conformance gate failed to reject an undeclared send" >&2
+	exit 1
+fi
+rm -rf "$conftmp"
+
 # Verification smoke: schedule exploration (happens-before checker
 # armed) must certify the shipped collectives delivery-order
 # independent under 4 seeded permutations each.

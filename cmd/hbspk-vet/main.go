@@ -1,8 +1,8 @@
 // Command hbspk-vet is the HBSP^k multichecker: it applies the
 // internal/analysis suite — syncdiscipline, commgraph, syncflow,
-// bufreuse, uncheckedrun, costparams, lockorder — to the packages named
-// on the command line and exits non-zero if any invariant of the
-// programming model is violated.
+// bufreuse, uncheckedrun, costparams, costbound, lockorder — to the
+// packages named on the command line and exits non-zero if any
+// invariant of the programming model is violated.
 //
 // Usage:
 //
@@ -14,19 +14,38 @@
 //
 //	go run ./cmd/hbspk-vet ./...
 //
+// Static cost analysis (DESIGN.md §5.6):
+//
+//	hbspk-vet -cost ./...                 symbolic per-superstep cost bounds
+//	hbspk-vet -cost -tree ucf ./...       bounds evaluated on a machine tree,
+//	                                      the variant switchpoint table, and
+//	                                      collective-variant advice
+//	hbspk-vet -commgraph-out g.json ./... export the static communication
+//	                                      graph (hbspk-commgraph/1 JSON)
+//
+// Static↔runtime conformance gate: verify that every message delivery
+// observed in a run's JSONL events (hbspk-sim -events-out) is explained
+// by a static edge of an exported commgraph:
+//
+//	hbspk-vet -conform-graph g.json -conform-events run.jsonl
+//
 // Diagnostics print as file:line:col: message (analyzer), or as a JSON
 // array of {file, line, col, analyzer, message} objects under -json —
 // the machine-readable form CI and editor integrations consume.
 // Individual findings can be suppressed with a trailing
 // `//hbspk:ignore <analyzer>` comment after a human audit; a directive
-// that no longer suppresses anything is itself reported (staleignore).
+// that no longer suppresses anything — or that names an analyzer that
+// no longer exists — is itself reported (staleignore).
 //
 // Exit codes:
 //
 //	0  the analyzed packages are clean
-//	1  at least one finding was reported
+//	1  at least one finding was reported (correctness suite, or a
+//	   conformance violation in gate mode)
 //	2  the run itself failed (bad flags, unloadable packages,
 //	   analyzer error)
+//	3  only advisory findings were reported (variantcheck advice —
+//	   a cheaper collective variant is statically knowable)
 package main
 
 import (
@@ -38,6 +57,9 @@ import (
 	"strings"
 
 	"hbspk/internal/analysis"
+	"hbspk/internal/collective"
+	"hbspk/internal/model"
+	"hbspk/internal/obsv"
 )
 
 // jsonDiagnostic is the -json wire form of one finding.
@@ -47,14 +69,21 @@ type jsonDiagnostic struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	Advice   bool   `json:"advice,omitempty"`
 }
 
 func main() {
 	var (
-		listOnly = flag.Bool("list", false, "list the analyzers and exit")
-		noTests  = flag.Bool("skip-tests", false, "do not analyze _test.go files")
-		only     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
-		asJSON   = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		listOnly  = flag.Bool("list", false, "list the analyzers and exit")
+		noTests   = flag.Bool("skip-tests", false, "do not analyze _test.go files")
+		only      = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		asJSON    = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		cost      = flag.Bool("cost", false, "print symbolic per-superstep cost bounds for the analyzed functions")
+		treeName  = flag.String("tree", "", "machine tree (preset ucf, figure1, grid, chain, or JSON spec path): evaluates -cost bounds and enables variantcheck advice")
+		costRatio = flag.Float64("cost-ratio", 1.5, "variantcheck advice threshold: report when another variant is this many times cheaper")
+		graphOut  = flag.String("commgraph-out", "", "write the static communication graph as hbspk-commgraph/1 JSON to this path (- for stdout)")
+		confGraph = flag.String("conform-graph", "", "conformance gate: static commgraph JSON (from -commgraph-out)")
+		confEv    = flag.String("conform-events", "", "conformance gate: run events JSONL (from hbspk-sim -events-out)")
 	)
 	flag.Parse()
 
@@ -64,12 +93,35 @@ func main() {
 		}
 		fmt.Printf("%-16s %s\n", analysis.StaleIgnoreName,
 			"report //hbspk:ignore directives that suppress nothing (always on)")
+		fmt.Printf("%-16s %s\n", analysis.VariantCheckName,
+			"advise statically-profitable collective-variant switches (requires -tree; advisory)")
 		return
+	}
+
+	// Conformance gate mode: no packages are loaded, the two artifacts
+	// are checked against each other.
+	if *confGraph != "" || *confEv != "" {
+		if *confGraph == "" || *confEv == "" {
+			fatal(fmt.Errorf("hbspk-vet: the conformance gate needs both -conform-graph and -conform-events"))
+		}
+		os.Exit(runConformance(*confGraph, *confEv))
+	}
+
+	var tree *model.Tree
+	if *treeName != "" {
+		var err error
+		tree, err = loadTree(*treeName)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
 		fatal(err)
+	}
+	if tree != nil {
+		analyzers = append(analyzers, analysis.VariantCheck(tree, *costRatio))
 	}
 
 	moduleDir, err := findModuleRoot()
@@ -91,9 +143,27 @@ func main() {
 		fatal(err)
 	}
 
+	if *graphOut != "" {
+		doc := analysis.CommGraphDocOf(pkgs, loader.ModulePath)
+		if err := writeGraph(doc, *graphOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *cost {
+		printCostBounds(pkgs, moduleDir, tree)
+	}
+
 	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
 		fatal(err)
+	}
+	errors, advice := 0, 0
+	for _, d := range diags {
+		if d.Analyzer == analysis.VariantCheckName {
+			advice++
+		} else {
+			errors++
+		}
 	}
 	if *asJSON {
 		out := make([]jsonDiagnostic, 0, len(diags))
@@ -106,6 +176,7 @@ func main() {
 			out = append(out, jsonDiagnostic{
 				File: rel, Line: pos.Line, Col: pos.Column,
 				Analyzer: d.Analyzer, Message: d.Message,
+				Advice: d.Analyzer == analysis.VariantCheckName,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -123,10 +194,140 @@ func main() {
 			fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
 		}
 	}
-	if len(diags) > 0 {
+	switch {
+	case errors > 0:
 		fmt.Fprintf(os.Stderr, "hbspk-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
+	case advice > 0:
+		fmt.Fprintf(os.Stderr, "hbspk-vet: %d advisory finding(s) in %d package(s)\n", advice, len(pkgs))
+		os.Exit(3)
 	}
+}
+
+// runConformance executes the static↔runtime gate and returns the exit
+// code: 0 on conformance, 1 on unexplained deliveries, 2 on bad input.
+func runConformance(graphPath, eventsPath string) int {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer gf.Close()
+	doc, err := obsv.ParseCommGraph(gf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	ef, err := os.Open(eventsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer ef.Close()
+	deliveries, err := obsv.ReadDeliveries(ef)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep := obsv.CheckConformance(doc, deliveries)
+	fmt.Print(rep.String())
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "hbspk-vet: conformance gate FAILED: %d unexplained delivery class(es)\n", len(rep.Unexplained))
+		return 1
+	}
+	return 0
+}
+
+// writeGraph encodes the commgraph document to path ("-" for stdout).
+func writeGraph(doc *obsv.CommGraphDoc, path string) error {
+	if path == "-" {
+		return doc.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return doc.WriteJSON(f)
+}
+
+// printCostBounds renders the symbolic per-superstep cost bounds of
+// every communicating function; with a tree, bounds whose sizes all
+// fold are also evaluated.
+func printCostBounds(pkgs []*analysis.Package, moduleDir string, tree *model.Tree) {
+	env := &analysis.CostEnv{Tree: tree}
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  analysis.CostBound,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(analysis.Diagnostic) {},
+		}
+		costs := analysis.ExtractCosts(pass)
+		if len(costs) == 0 {
+			continue
+		}
+		fmt.Printf("package %s\n", pkg.Path)
+		for _, fc := range costs {
+			pos := pkg.Fset.Position(fc.Pos)
+			rel, err := filepath.Rel(moduleDir, pos.Filename)
+			if err != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("  %s (%s:%d)\n", fc.Name, rel, pos.Line)
+			for _, st := range fc.Steps {
+				bound := st.Cost()
+				loop := ""
+				if st.InLoop {
+					loop = " [per iteration]"
+				}
+				sync := st.Sync
+				if sync == "" {
+					sync = "(no closing barrier)"
+				}
+				fmt.Printf("    step %d%s  %s\n      T <= %s\n", st.Index, loop, sync, bound)
+				if tree != nil {
+					if v, err := bound.Eval(env); err == nil {
+						fmt.Printf("      = %.4g on this tree\n", v)
+					}
+				}
+			}
+		}
+	}
+	if tree != nil {
+		fmt.Printf("\nvariant switchpoints on this tree (payloads 16 B .. 16 MB):\n")
+		rows := collective.SwitchpointTable(tree, 16, 16<<20)
+		if len(rows) == 0 {
+			fmt.Println("  none: each family's cheapest variant never changes in range")
+		}
+		for _, r := range rows {
+			fmt.Printf("  %-14s %s -> %s at n >= %d bytes\n", r.Family, r.From, r.To, r.N)
+		}
+	}
+}
+
+func loadTree(name string) (*model.Tree, error) {
+	switch name {
+	case "ucf", "testbed":
+		return model.UCFTestbed(), nil
+	case "figure1":
+		return model.Figure1Cluster(), nil
+	case "grid":
+		return model.WideAreaGrid(3, 4, 12, 25000, 250000), nil
+	case "chain":
+		return model.DeepChain(4), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("hbspk-vet: -tree %q is not a preset (ucf, figure1, grid, chain) and unreadable as a spec file: %w", name, err)
+	}
+	spec, err := model.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Tree()
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {

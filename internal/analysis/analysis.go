@@ -176,8 +176,26 @@ func All() []*Analyzer {
 		BufReuse,
 		UncheckedRun,
 		CostParams,
+		CostBound,
 		LockOrder,
 	}
+}
+
+// knownAnalyzerNames is the universe of names an //hbspk:ignore
+// directive may legitimately cite: the full suite plus the analyzers
+// that exist outside All() (the stale-directive sweep itself and the
+// tree-parameterized variant advice). A directive naming anything else
+// is rename rot — the analyzer it once silenced no longer exists under
+// that name, so the directive silences nothing and never will.
+func knownAnalyzerNames() map[string]bool {
+	known := map[string]bool{
+		StaleIgnoreName:  true,
+		VariantCheckName: true,
+	}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // StaleIgnoreName is the pseudo-analyzer under which unused suppression
@@ -233,6 +251,7 @@ func staleIgnores(pkg *Package, ran map[string]bool, fired map[string]bool) []Di
 			break
 		}
 	}
+	known := knownAnalyzerNames()
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -242,6 +261,16 @@ func staleIgnores(pkg *Package, ran map[string]bool, fired map[string]bool) []Di
 					continue
 				}
 				if name == "" && !fullSuite {
+					continue
+				}
+				if name != "" && !known[name] {
+					pos := c.Pos()
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: StaleIgnoreName,
+						Message: fmt.Sprintf(
+							"//hbspk:ignore %s names no analyzer (renamed or removed?): the directive silences nothing", name),
+					})
 					continue
 				}
 				if name != "" && !ran[name] {

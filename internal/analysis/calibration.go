@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"go/ast"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The calibration cross-check: a literal model parameter annotated with
+//
+//	//hbspk:calibrated <param> [tol]
+//
+// is compared against the fitted value of <param> in the committed
+// calibration artifact (results/calibrate.csv, the output of
+// hbspk-bench calibrate). The annotation is opt-in per literal — most
+// numeric literals are not calibrated quantities — and catches drift in
+// either direction: a preset edited without re-running calibration, or
+// a re-calibration whose result nobody copied back into the code. tol
+// is a relative tolerance, default 0.05.
+
+// defaultCalibrationTol is the relative drift allowed when the
+// directive does not name one.
+const defaultCalibrationTol = 0.05
+
+// calibrationFile is the artifact searched for upward from each
+// analyzed source file.
+const calibrationFile = "results/calibrate.csv"
+
+// Calibration maps parameter names ("g", "L_{1,0}") to fitted values.
+type Calibration map[string]float64
+
+// LoadCalibration parses a calibration CSV with a param,true,fitted,...
+// header, as written by the calibrate experiment.
+func LoadCalibration(path string) (Calibration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseCalibration(f)
+}
+
+func parseCalibration(r io.Reader) (Calibration, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: calibration csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("analysis: calibration csv is empty")
+	}
+	fitted := -1
+	for i, col := range rows[0] {
+		if strings.TrimSpace(col) == "fitted" {
+			fitted = i
+		}
+	}
+	if fitted < 0 {
+		return nil, fmt.Errorf("analysis: calibration csv has no fitted column: %v", rows[0])
+	}
+	cal := Calibration{}
+	for _, row := range rows[1:] {
+		if len(row) <= fitted {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(row[fitted]), 64)
+		if err != nil {
+			continue // non-numeric rows (R^2 footer variants) are skipped
+		}
+		cal[strings.TrimSpace(row[0])] = v
+	}
+	return cal, nil
+}
+
+// findCalibration walks up from dir looking for results/calibrate.csv,
+// stopping at a go.mod boundary (inclusive) or after a fixed number of
+// levels. Fixture packages can carry their own artifact.
+func findCalibration(dir string) (Calibration, bool) {
+	for range 8 {
+		path := filepath.Join(dir, filepath.FromSlash(calibrationFile))
+		if _, err := os.Stat(path); err == nil {
+			cal, err := LoadCalibration(path)
+			return cal, err == nil
+		}
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return nil, false
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, false
+		}
+		dir = parent
+	}
+	return nil, false
+}
+
+// parseCalibrated recognizes `//hbspk:calibrated <param> [tol]`.
+func parseCalibrated(text string) (param string, tol float64, ok bool) {
+	const prefix = "//hbspk:calibrated"
+	rest, found := strings.CutPrefix(text, prefix)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", 0, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", 0, false
+	}
+	tol = defaultCalibrationTol
+	if len(fields) >= 2 {
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil && v > 0 {
+			tol = v
+		}
+	}
+	return fields[0], tol, true
+}
+
+// calibratedDirective is one annotation site.
+type calibratedDirective struct {
+	param string
+	tol   float64
+}
+
+// calibratedLines collects the annotations of one file, keyed by line.
+func calibratedLines(pass *Pass, f *ast.File) map[int]calibratedDirective {
+	var out map[int]calibratedDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			param, tol, ok := parseCalibrated(c.Text)
+			if !ok {
+				continue
+			}
+			if out == nil {
+				out = make(map[int]calibratedDirective)
+			}
+			out[pass.Fset.Position(c.Pos()).Line] = calibratedDirective{param: param, tol: tol}
+		}
+	}
+	return out
+}
+
+// checkCalibrated compares a literal parameter value at pos against the
+// calibration artifact, when the literal's line carries a directive.
+func checkCalibrated(pass *Pass, pos ast.Node, v float64, lines map[int]calibratedDirective, cal Calibration, calOK bool) {
+	if lines == nil {
+		return
+	}
+	d, ok := lines[pass.Fset.Position(pos.Pos()).Line]
+	if !ok {
+		return
+	}
+	if !calOK {
+		return // no artifact to compare against: the cross-check is inert
+	}
+	fitted, ok := cal[d.param]
+	if !ok {
+		pass.Reportf(pos.Pos(),
+			"//hbspk:calibrated %s: no such parameter in %s", d.param, calibrationFile)
+		return
+	}
+	var drift float64
+	if fitted != 0 {
+		drift = math.Abs(v-fitted) / math.Abs(fitted)
+	} else {
+		drift = math.Abs(v - fitted)
+	}
+	if drift > d.tol {
+		pass.Reportf(pos.Pos(),
+			"calibrated parameter %s = %v drifts %.1f%% from the fitted value %v in %s (tol %.0f%%): re-run calibration or fix the literal",
+			d.param, v, drift*100, fitted, calibrationFile, d.tol*100)
+	}
+}

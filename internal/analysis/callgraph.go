@@ -47,20 +47,67 @@ func buildCallGraph(pass *Pass) *callGraph {
 
 	// Seed with direct synchronizers, then propagate caller-ward until
 	// stable: a function synchronizes if any call in its body does.
+	//
+	// Besides direct calls, a value-position reference to a function — a
+	// method value (f := c.Sync), a function value passed around or
+	// called through a variable — is treated as a call edge at the point
+	// the value is taken. That over-approximates (taking the value is
+	// not calling it) but never under-approximates within the package:
+	// the synchronizes fact must be conservative, since a missed
+	// boundary turns into a false "unmatched send" and a false clean
+	// bill on a desync.
 	edges := make(map[*types.Func][]*types.Func) // callee -> callers
 	for obj, fd := range g.decls {
 		direct := false
+		// calleeNodes are the Fun nodes of direct calls; references
+		// elsewhere are value positions.
+		calleeNodes := make(map[ast.Node]bool)
 		walkBody(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			if call, ok := n.(*ast.CallExpr); ok {
+				calleeNodes[ast.Unparen(call.Fun)] = true
 			}
-			if isSyncCall(pass.TypesInfo, call) {
-				direct = true
-			}
-			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
-				if _, local := g.decls[callee]; local {
-					edges[callee] = append(edges[callee], obj)
+			return true
+		})
+		walkBody(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if isSyncCall(pass.TypesInfo, x) {
+					direct = true
+				}
+				if callee := calleeFunc(pass.TypesInfo, x); callee != nil {
+					if _, local := g.decls[callee]; local {
+						edges[callee] = append(edges[callee], obj)
+					}
+				}
+			case *ast.Ident:
+				if calleeNodes[ast.Node(x)] {
+					return true
+				}
+				if fn, ok := pass.TypesInfo.Uses[x].(*types.Func); ok {
+					if _, local := g.decls[fn]; local {
+						edges[fn] = append(edges[fn], obj)
+					}
+					if fn.Name() == "SyncAll" {
+						direct = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if calleeNodes[ast.Node(x)] {
+					return true
+				}
+				sel, ok := pass.TypesInfo.Selections[x]
+				if !ok || sel.Kind() != types.MethodVal {
+					return true
+				}
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				if _, local := g.decls[fn]; local {
+					edges[fn] = append(edges[fn], obj)
+				}
+				if (fn.Name() == "Sync" || fn.Name() == "Barrier") && isCtxType(pass.TypesInfo.TypeOf(x.X)) {
+					direct = true
 				}
 			}
 			return true

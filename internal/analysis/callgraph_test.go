@@ -1,0 +1,54 @@
+package analysis
+
+import "testing"
+
+func TestCallGraphGolden(t *testing.T) { runGolden(t, CommGraph, "callgraph") }
+
+func TestStaleIgnoreGolden(t *testing.T) { runGolden(t, CommGraph, "staleignore") }
+
+func TestCostParamsCalibrationGolden(t *testing.T) { runGolden(t, CostParams, "costparamscal") }
+
+// TestCallGraphFixpoint asserts the synchronizes set directly: mutual
+// recursion converges with both parties marked, method and function
+// values mark their creators, and a barrier-free helper stays unmarked
+// (the over-approximation is not an any-call approximation).
+func TestCallGraphFixpoint(t *testing.T) {
+	loader, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	pass := &Pass{
+		Analyzer:  CommGraph,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(Diagnostic) {},
+	}
+	g := buildCallGraph(pass)
+	syncsByName := map[string]bool{}
+	for fn := range g.decls {
+		syncsByName[fn.Name()] = g.syncs[fn]
+	}
+	wantSync := []string{"pingSync", "pongSync", "viaMethodValue", "viaFuncValue", "syncHelper",
+		"afterMutualRecursion", "afterMethodValue", "afterFuncValue"}
+	for _, name := range wantSync {
+		if !syncsByName[name] {
+			t.Errorf("fixpoint misses %s: must be marked synchronizing", name)
+		}
+	}
+	wantClean := []string{"pureHelper", "afterPureHelper"}
+	for _, name := range wantClean {
+		if syncsByName[name] {
+			t.Errorf("fixpoint over-marks %s: it contains no barrier on any path", name)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CostBound is the symbolic superstep cost extractor: it walks each
+// SPMD function's communication actions, partitions them into superstep
+// segments at the synchronizing calls (reusing the transitive-
+// synchronizes fixpoint of the call graph), and derives a symbolic cost
+// bound per segment in the grammar of costexpr.go —
+//
+//	T_step <= g·rmax·(Σ payload bytes) + Σ coll(variant, n) + L
+//
+// an over-approximation of equation 1's T = w + g·h + L: the
+// h-relation is bounded by the total bytes sent at the worst slowdown,
+// the barrier by the most expensive scope, and local work w is not
+// statically modeled. The facts feed `hbspk-vet -cost`, the commgraph
+// JSON export, and the variantcheck advice pass.
+//
+// As a diagnostic analyzer it reports one model-visible mistake on its
+// own: a hand-rolled flat fan-out in a program entry body — a
+// pid-guarded loop over all processors sending from one root in a
+// single superstep. That shape costs the root g·n·(p−1) on any tree
+// and ignores the hierarchy entirely; the collective library's
+// broadcast/scatter variants (and variantcheck's switchpoints) exist
+// precisely to replace it.
+var CostBound = &Analyzer{
+	Name: "costbound",
+	Doc:  "extract symbolic superstep cost bounds; flag hand-rolled flat fan-outs in program bodies",
+	Run:  runCostBound,
+}
+
+// SendFact is one raw Ctx.Send: the destination and tag as folded
+// decimal literals or "*", and the payload size expression.
+type SendFact struct {
+	Pos      token.Pos
+	Dst, Tag string
+	Bytes    *Expr
+}
+
+// CollFact is one collective-library call with its total-size
+// expression (already scaled per the variant's size convention).
+type CollFact struct {
+	Pos  token.Pos
+	Name string
+	Size *Expr
+}
+
+// StepCostFact is one superstep segment of a function body.
+type StepCostFact struct {
+	// Index is the segment's 0-based position.
+	Index int
+	// Sync names the closing synchronizing call; "" for the trailing
+	// segment of a body (or a helper with no boundary at all).
+	Sync string
+	// SyncIsColl marks a segment closed by a collective call (whose
+	// closed form already includes its own barriers).
+	SyncIsColl bool
+	// InLoop marks a segment whose closing sync sits inside a loop:
+	// facts are per iteration.
+	InLoop bool
+	Sends  []SendFact
+	Colls  []CollFact
+}
+
+// Cost assembles the segment's symbolic cost bound.
+func (s *StepCostFact) Cost() *Expr {
+	var sizes []*Expr
+	for _, snd := range s.Sends {
+		sizes = append(sizes, snd.Bytes)
+	}
+	var terms []*Expr
+	if len(sizes) > 0 {
+		terms = append(terms, Mul(Param("g"), Param("rmax"), Add(sizes...)))
+	}
+	for _, c := range s.Colls {
+		terms = append(terms, Coll(c.Name, c.Size))
+	}
+	if s.Sync != "" && !s.SyncIsColl {
+		terms = append(terms, Param("L"))
+	}
+	return Add(terms...)
+}
+
+// FuncCost is one function's extracted per-superstep cost facts.
+type FuncCost struct {
+	Name  string
+	Pos   token.Pos
+	Steps []StepCostFact
+}
+
+// collSizeSpec maps a collective entrypoint to the argument carrying
+// its payload and how that argument relates to the family's total
+// problem size n: PerProc payloads are scaled by p, slice payloads by
+// their element size, map payloads stay symbolic totals.
+type collSizeSpec struct {
+	Arg     int
+	PerProc bool
+}
+
+var collSizeSpecs = map[string]collSizeSpec{
+	"Gather":            {3, true},
+	"GatherHier":        {1, true},
+	"BcastOnePhase":     {3, false},
+	"BcastTwoPhase":     {3, false},
+	"BcastBinomial":     {3, false},
+	"BcastHier":         {1, false},
+	"BcastHierTwoPhase": {1, false},
+	"Scatter":           {3, false},
+	"ScatterHier":       {1, false},
+	"AllGather":         {2, true},
+	"AllGatherHier":     {1, true},
+	"Reduce":            {3, true},
+	"ReduceHier":        {1, true},
+	"AllReduce":         {1, true},
+	"Scan":              {2, true},
+	"ScanHier":          {1, true},
+	"TotalExchange":     {2, false},
+	"TotalExchangeHier": {1, false},
+	"ReduceScatter":     {2, true},
+}
+
+// ExtractCosts runs the extractor over every function body of the pass.
+// Functions with no communication actions are omitted.
+func ExtractCosts(pass *Pass) []FuncCost {
+	g := buildCallGraph(pass)
+	var out []FuncCost
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			fc := extractBody(pass, g, name, body)
+			if fc != nil {
+				out = append(out, *fc)
+			}
+		})
+	}
+	return out
+}
+
+func extractBody(pass *Pass, g *callGraph, name string, body *ast.BlockStmt) *FuncCost {
+	var events []commEvent
+	walkBody(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case g.callSynchronizes(call):
+			events = append(events, commEvent{pos: call.Pos(), call: call, kind: evSync})
+		case isCtxMethod(pass, call, "Send"):
+			events = append(events, commEvent{pos: call.Pos(), call: call, kind: evSend})
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return nil
+	}
+	var syncs []token.Pos
+	for _, e := range events {
+		if e.kind == evSync {
+			syncs = append(syncs, e.pos)
+		}
+	}
+	loops := syncLoopRanges(body, syncs)
+
+	fc := &FuncCost{Name: name, Pos: body.Pos()}
+	cur := StepCostFact{Index: 0}
+	closeSeg := func(syncLabel string, isColl, inLoop bool) {
+		cur.Sync = syncLabel
+		cur.SyncIsColl = isColl
+		cur.InLoop = inLoop
+		fc.Steps = append(fc.Steps, cur)
+		cur = StepCostFact{Index: len(fc.Steps)}
+	}
+	for _, e := range events {
+		switch e.kind {
+		case evSend:
+			cur.Sends = append(cur.Sends, sendFactOf(pass, e.call, e.pos))
+		case evSync:
+			label, isColl := syncLabelOf(pass, e.call)
+			if cf, ok := collFactOf(pass, e.call, e.pos); ok {
+				cur.Colls = append(cur.Colls, cf)
+			}
+			closeSeg(label, isColl, insideAny(loops, e.pos))
+		}
+	}
+	// A trailing segment with communication but no closing barrier — the
+	// helper pattern (caller flushes) or an unmatched send commgraph
+	// already reports. Keep the facts; the segment costs no L.
+	if len(cur.Sends) > 0 || len(cur.Colls) > 0 {
+		closeSeg("", false, false)
+	}
+	return fc
+}
+
+// syncLabelOf names a synchronizing call for the step facts.
+func syncLabelOf(pass *Pass, call *ast.CallExpr) (label string, isColl bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "sync", false
+	}
+	name := fn.Name()
+	if collectiveNames[name] {
+		return name, true
+	}
+	switch name {
+	case "Sync":
+		if len(call.Args) >= 1 {
+			return "Sync(" + types.ExprString(call.Args[0]) + ")", false
+		}
+		return "Sync", false
+	case "SyncAll", "Barrier":
+		return name, false
+	}
+	return name + "()", false
+}
+
+// sendFactOf folds one Ctx.Send(dst, tag, payload) call.
+func sendFactOf(pass *Pass, call *ast.CallExpr, pos token.Pos) SendFact {
+	f := SendFact{Pos: pos, Dst: "*", Tag: "*", Bytes: Const(0)}
+	if len(call.Args) >= 3 {
+		f.Dst = foldInt(pass, call.Args[0])
+		f.Tag = foldInt(pass, call.Args[1])
+		f.Bytes = sizeExprOf(pass, call.Args[2])
+	}
+	return f
+}
+
+// collFactOf folds one collective call into a (variant, total size)
+// fact using the size-argument table.
+func collFactOf(pass *Pass, call *ast.CallExpr, pos token.Pos) (CollFact, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return CollFact{}, false
+	}
+	spec, ok := collSizeSpecs[fn.Name()]
+	if !ok || !collectiveNames[fn.Name()] {
+		return CollFact{}, false
+	}
+	if len(call.Args) == 0 || !isCtxType(pass.TypesInfo.TypeOf(call.Args[0])) {
+		return CollFact{}, false
+	}
+	size := SizeSym("?")
+	if spec.Arg < len(call.Args) {
+		size = sizeExprOf(pass, call.Args[spec.Arg])
+	}
+	if spec.PerProc {
+		size = Mul(Param("p"), size)
+	}
+	return CollFact{Pos: pos, Name: fn.Name(), Size: size}, true
+}
+
+// foldInt renders an int argument as a decimal literal when it is a
+// compile-time constant, "*" otherwise.
+func foldInt(pass *Pass, e ast.Expr) string {
+	if v, ok := constValue(pass, e); ok && v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return "*"
+}
+
+// sizeExprOf derives the byte-size expression of a payload argument:
+//
+//   - make([]T, N): sizeof(T)·N, with N folded when constant;
+//   - a composite literal: its folded length;
+//   - nil: 0 bytes;
+//   - anything else: the symbolic size(len(<source text>)), scaled by
+//     the element size for non-byte slices.
+func sizeExprOf(pass *Pass, e ast.Expr) *Expr {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) >= 2 {
+			elem := elemBytes(pass, pass.TypesInfo.TypeOf(e))
+			if v, ok := constValue(pass, x.Args[1]); ok {
+				return Const(elem * v)
+			}
+			return Mul(Const(elem), SizeSym(types.ExprString(x.Args[1])))
+		}
+	case *ast.CompositeLit:
+		if t := pass.TypesInfo.TypeOf(e); t != nil {
+			if _, ok := t.Underlying().(*types.Slice); ok {
+				return Const(elemBytes(pass, t) * float64(len(x.Elts)))
+			}
+		}
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return Const(0)
+		}
+	}
+	elem := elemBytes(pass, pass.TypesInfo.TypeOf(e))
+	scaled := SizeSym("len(" + types.ExprString(e) + ")")
+	if elem != 1 {
+		return Mul(Const(elem), scaled)
+	}
+	return scaled
+}
+
+// elemBytes returns the element size of a slice type in bytes, 1 for
+// byte slices, maps and anything unsized (a map's symbolic size is
+// already a byte total).
+func elemBytes(pass *Pass, t types.Type) float64 {
+	if t == nil {
+		return 1
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return 1
+	}
+	sizes := types.SizesFor("gc", "amd64")
+	if sizes == nil {
+		sizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
+	}
+	if b, ok := sl.Elem().Underlying().(*types.Basic); ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8) {
+		return 1
+	}
+	return float64(sizes.Sizeof(sl.Elem()))
+}
+
+// runCostBound reports hand-rolled flat fan-outs in program entry
+// bodies: a loop over all processors sending under a pid guard. The
+// collective library's own variants are exactly where this shape
+// legitimately lives, so only entry bodies (function literals handed to
+// an engine) are judged.
+func runCostBound(pass *Pass) error {
+	entries := programEntryBodies(pass)
+	for body := range entries {
+		reportFlatFanout(pass, body)
+	}
+	return nil
+}
+
+func reportFlatFanout(pass *Pass, body *ast.BlockStmt) {
+	// Walk with an explicit ancestor stack so a Send can see its
+	// enclosing loops and pid guards.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isCtxMethod(pass, call, "Send") {
+			return true
+		}
+		inAllProcsLoop, underPidGuard := false, false
+		for _, anc := range stack[:len(stack)-1] {
+			switch a := anc.(type) {
+			case *ast.ForStmt:
+				if a.Cond != nil && mentionsNProcs(a.Cond) {
+					inAllProcsLoop = true
+				}
+			case *ast.RangeStmt:
+				if mentionsNProcs(a.X) {
+					inAllProcsLoop = true
+				}
+			case *ast.IfStmt:
+				if mentionsPidEquality(a.Cond) {
+					underPidGuard = true
+				}
+			}
+		}
+		if inAllProcsLoop && underPidGuard {
+			pass.Reportf(call.Pos(),
+				"flat fan-out: one pid-guarded root sends to every processor in a single superstep (cost g·n·(p−1) at the root); use a broadcast/scatter collective — hbspk-vet -cost -tree quantifies the switchpoint")
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+func mentionsNProcs(e ast.Expr) bool {
+	return strings.Contains(types.ExprString(e), "NProcs()")
+}
+
+func mentionsPidEquality(e ast.Expr) bool {
+	s := types.ExprString(e)
+	return strings.Contains(s, "Pid()") && strings.Contains(s, "==")
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"testing"
+
+	"hbspk/internal/model"
+)
+
+func TestCostBoundGolden(t *testing.T) { runGolden(t, CostBound, "costbound") }
+
+// loadCostboundPass loads the costbound fixture and wraps it in a pass,
+// the extractor's input shape.
+func loadCostboundPass(t *testing.T) *Pass {
+	t.Helper()
+	loader, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("costbound")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for the fixture, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	return &Pass{
+		Analyzer:  CostBound,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(Diagnostic) {},
+	}
+}
+
+// TestExtractCostsSymbolic pins the rendered per-superstep cost
+// expressions: segment boundaries at synchronizing calls, constant
+// folding of make sizes, element-size scaling, per-proc payloads
+// multiplied by p, and the +L term only on plain barriers.
+func TestExtractCostsSymbolic(t *testing.T) {
+	pass := loadCostboundPass(t)
+	funcs := map[string]FuncCost{}
+	for _, fc := range ExtractCosts(pass) {
+		funcs[fc.Name] = fc
+	}
+
+	er, ok := funcs["exchangeRounds"]
+	if !ok {
+		t.Fatal("exchangeRounds was not extracted")
+	}
+	if len(er.Steps) != 2 {
+		t.Fatalf("exchangeRounds: %d steps, want 2", len(er.Steps))
+	}
+	s0 := er.Steps[0]
+	if got, want := s0.Cost().String(), "coll(BcastOnePhase, 4096)"; got != want {
+		t.Errorf("step 0 cost = %q, want %q", got, want)
+	}
+	if !s0.SyncIsColl || s0.Sync != "BcastOnePhase" {
+		t.Errorf("step 0 closed by %q (coll=%v), want the collective", s0.Sync, s0.SyncIsColl)
+	}
+	s1 := er.Steps[1]
+	if got, want := s1.Cost().String(), "g*rmax*(128 + size(len(payload))) + L"; got != want {
+		t.Errorf("step 1 cost = %q, want %q", got, want)
+	}
+	if s1.Sync != "Sync(scope)" {
+		t.Errorf("step 1 closed by %q, want Sync(scope)", s1.Sync)
+	}
+	if len(s1.Sends) != 2 || s1.Sends[0].Dst != "1" || s1.Sends[0].Tag != "5" {
+		t.Errorf("step 1 sends = %+v, want two folded tag-5 sends", s1.Sends)
+	}
+
+	rp, ok := funcs["reducePerProc"]
+	if !ok {
+		t.Fatal("reducePerProc was not extracted")
+	}
+	if len(rp.Steps) != 1 {
+		t.Fatalf("reducePerProc: %d steps, want 1", len(rp.Steps))
+	}
+	if got, want := rp.Steps[0].Cost().String(), "coll(Reduce, p*8*size(len(words)))"; got != want {
+		t.Errorf("reducePerProc cost = %q, want %q", got, want)
+	}
+}
+
+// TestCostExprEval evaluates an extracted bound against a calibrated
+// tree: free sizes must be reported, unbound sizes must error, and the
+// bound must reproduce g·rmax·h + L arithmetic exactly.
+func TestCostExprEval(t *testing.T) {
+	pass := loadCostboundPass(t)
+	var bound *Expr
+	for _, fc := range ExtractCosts(pass) {
+		if fc.Name == "exchangeRounds" {
+			bound = fc.Steps[1].Cost()
+		}
+	}
+	if bound == nil {
+		t.Fatal("no bound extracted for exchangeRounds")
+	}
+	free := bound.FreeSizes()
+	if len(free) != 1 || free[0] != "len(payload)" {
+		t.Fatalf("FreeSizes = %v, want [len(payload)]", free)
+	}
+
+	tr := model.UCFTestbed()
+	if _, err := bound.Eval(&CostEnv{Tree: tr}); err == nil {
+		t.Error("Eval with unbound size should error")
+	}
+	env := &CostEnv{Tree: tr, Sizes: map[string]float64{"len(payload)": 1024}}
+	got, err := bound.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := env.param("g")
+	rmax, _ := env.param("rmax")
+	L, _ := env.param("L")
+	want := g*rmax*(128+1024) + L
+	if got != want {
+		t.Errorf("Eval = %g, want g*rmax*1152 + L = %g", got, want)
+	}
+
+	// A coll node resolves through the closed-form hooks.
+	collExpr := Coll("BcastOnePhase", Const(4096))
+	v, err := collExpr.Eval(env)
+	if err != nil || v <= 0 {
+		t.Errorf("coll(BcastOnePhase, 4096) eval = %g, %v", v, err)
+	}
+	if _, err := Coll("NoSuchVariant", Const(1)).Eval(env); err == nil {
+		t.Error("unknown collective variant should error")
+	}
+}

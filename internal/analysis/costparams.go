@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/types"
+	"path/filepath"
 )
 
 // CostParams flags statically invalid HBSP^k model parameters:
@@ -32,20 +33,29 @@ var engineCtorNames = map[string]bool{
 }
 
 func runCostParams(pass *Pass) error {
+	// The calibration artifact, when present, turns //hbspk:calibrated
+	// annotations into drift checks; found once per package.
+	var cal Calibration
+	var calOK bool
+	if len(pass.Files) > 0 {
+		dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+		cal, calOK = findCalibration(dir)
+	}
 	for _, f := range pass.Files {
+		lines := calibratedLines(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			checkCostCall(pass, call)
+			checkCostCall(pass, call, lines, cal, calOK)
 			return true
 		})
 	}
 	return nil
 }
 
-func checkCostCall(pass *Pass, call *ast.CallExpr) {
+func checkCostCall(pass *Pass, call *ast.CallExpr, lines map[int]calibratedDirective, cal Calibration, calOK bool) {
 	fn := calleeFunc(pass.TypesInfo, call)
 	if fn == nil {
 		return
@@ -54,25 +64,40 @@ func checkCostCall(pass *Pass, call *ast.CallExpr) {
 	case "New", "MustNew":
 		// Tree constructors: (root, g). Identified by a *Tree result.
 		if len(call.Args) == 2 && resultsTree(fn) {
-			if v, ok := constValue(pass, call.Args[1]); ok && v <= 0 {
-				pass.Reportf(call.Args[1].Pos(), "bandwidth indicator g = %v, want > 0: Validate will reject this tree", v)
+			if v, ok := constValue(pass, call.Args[1]); ok {
+				if v <= 0 {
+					pass.Reportf(call.Args[1].Pos(), "bandwidth indicator g = %v, want > 0: Validate will reject this tree", v)
+				}
+				checkCalibrated(pass, call.Args[1], v, lines, cal, calOK)
 			}
 		}
 	case "WithComm":
-		if v, ok := optionArg(pass, fn, call); ok && v <= 0 {
-			pass.Reportf(call.Args[0].Pos(), "communication slowdown r = %v, want > 0", v)
+		if v, ok := optionArg(pass, fn, call); ok {
+			if v <= 0 {
+				pass.Reportf(call.Args[0].Pos(), "communication slowdown r = %v, want > 0", v)
+			}
+			checkCalibrated(pass, call.Args[0], v, lines, cal, calOK)
 		}
 	case "WithComp":
-		if v, ok := optionArg(pass, fn, call); ok && v <= 0 {
-			pass.Reportf(call.Args[0].Pos(), "compute slowdown = %v, want > 0", v)
+		if v, ok := optionArg(pass, fn, call); ok {
+			if v <= 0 {
+				pass.Reportf(call.Args[0].Pos(), "compute slowdown = %v, want > 0", v)
+			}
+			checkCalibrated(pass, call.Args[0], v, lines, cal, calOK)
 		}
 	case "WithSync":
-		if v, ok := optionArg(pass, fn, call); ok && v < 0 {
-			pass.Reportf(call.Args[0].Pos(), "synchronization cost L = %v, want >= 0", v)
+		if v, ok := optionArg(pass, fn, call); ok {
+			if v < 0 {
+				pass.Reportf(call.Args[0].Pos(), "synchronization cost L = %v, want >= 0", v)
+			}
+			checkCalibrated(pass, call.Args[0], v, lines, cal, calOK)
 		}
 	case "WithShare":
-		if v, ok := optionArg(pass, fn, call); ok && (v < 0 || v > 1) {
-			pass.Reportf(call.Args[0].Pos(), "workload share c = %v, want in [0, 1]", v)
+		if v, ok := optionArg(pass, fn, call); ok {
+			if v < 0 || v > 1 {
+				pass.Reportf(call.Args[0].Pos(), "workload share c = %v, want in [0, 1]", v)
+			}
+			checkCalibrated(pass, call.Args[0], v, lines, cal, calOK)
 		}
 	}
 	// Non-normalized tree flowing straight into an engine: the tree

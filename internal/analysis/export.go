@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"path/filepath"
+
+	"hbspk/internal/obsv"
+)
+
+// CommGraphDocOf exports the static communication topology of the
+// loaded packages in the stable hbspk-commgraph/1 wire format: per
+// function, per superstep segment, the send edges (endpoints and tags
+// folded to decimal literals where the analysis can, "*" where it
+// cannot), the collective calls, and the segment's symbolic cost-bound
+// expression. The document is the static half of the conformance gate
+// (obsv.CheckConformance) and a machine-readable artifact in its own
+// right (hbspk-vet -commgraph-out).
+func CommGraphDocOf(pkgs []*Package, module string) *obsv.CommGraphDoc {
+	doc := &obsv.CommGraphDoc{Schema: obsv.CommGraphSchema, Module: module}
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Analyzer:  CostBound,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(Diagnostic) {},
+		}
+		pg := obsv.PkgGraph{Path: pkg.Path}
+		for _, fc := range ExtractCosts(pass) {
+			pos := pkg.Fset.Position(fc.Pos)
+			fg := obsv.FuncGraph{
+				Name: fc.Name,
+				File: filepath.Base(pos.Filename),
+				Line: pos.Line,
+			}
+			for _, st := range fc.Steps {
+				topo := obsv.StepTopo{
+					Index: st.Index,
+					Sync:  st.Sync,
+					Loop:  st.InLoop,
+					Cost:  st.Cost().String(),
+				}
+				for _, s := range st.Sends {
+					topo.Edges = append(topo.Edges, obsv.CommEdge{
+						Src:   "*", // the sender is whichever pid executes the line
+						Dst:   s.Dst,
+						Tag:   s.Tag,
+						Bytes: s.Bytes.String(),
+					})
+				}
+				for _, c := range st.Colls {
+					topo.Collectives = append(topo.Collectives, c.Name)
+				}
+				fg.Steps = append(fg.Steps, topo)
+			}
+			pg.Funcs = append(pg.Funcs, fg)
+		}
+		if len(pg.Funcs) > 0 {
+			doc.Packages = append(doc.Packages, pg)
+		}
+	}
+	doc.Normalize()
+	return doc
+}

@@ -1,0 +1,100 @@
+// Package callgraph is the golden fixture for the synchronizes
+// fixpoint's edge cases: mutual recursion must converge, method values
+// and function values must count as boundaries at the point the value
+// is taken, and interface method calls on a Ctx-shaped receiver must
+// stay recognized. The diagnostics are commgraph's unmatched-send
+// reports — each fires only if the preceding call is known to
+// synchronize, so every `want` below is a positive fixpoint fact.
+package callgraph
+
+type Machine struct{}
+
+type Ctx interface {
+	Pid() int
+	Send(dst, tag int, payload []byte) error
+	Sync(scope *Machine, label string) error
+}
+
+// --- mutual recursion: pingSync <-> pongSync, the barrier bottoms out
+// in pongSync. The fixpoint must converge and mark both.
+
+func pingSync(c Ctx, depth int) error {
+	if depth == 0 {
+		return nil
+	}
+	return pongSync(c, depth-1)
+}
+
+func pongSync(c Ctx, depth int) error {
+	if depth == 0 {
+		return c.Sync(nil, "bottom")
+	}
+	return pingSync(c, depth-1)
+}
+
+func afterMutualRecursion(c Ctx) error {
+	if err := pingSync(c, 3); err != nil {
+		return err
+	}
+	return c.Send(1, 0, []byte("x")) // want `unmatched send: no Sync follows`
+}
+
+// --- method value: the barrier is taken as a value and called through
+// a variable. The creator is conservatively a synchronizer.
+
+func viaMethodValue(c Ctx) error {
+	barrier := c.Sync
+	return barrier(nil, "indirect")
+}
+
+func afterMethodValue(c Ctx) error {
+	if err := viaMethodValue(c); err != nil {
+		return err
+	}
+	return c.Send(1, 1, []byte("y")) // want `unmatched send: no Sync follows`
+}
+
+// --- function value: a local synchronizing helper escapes into a
+// variable before the call.
+
+func syncHelper(c Ctx) error { return c.Sync(nil, "helper") }
+
+func viaFuncValue(c Ctx) error {
+	f := syncHelper
+	return f(c)
+}
+
+func afterFuncValue(c Ctx) error {
+	if err := viaFuncValue(c); err != nil {
+		return err
+	}
+	return c.Send(1, 2, []byte("z")) // want `unmatched send: no Sync follows`
+}
+
+// --- interface call: Sync resolved through an embedded interface's
+// method set is still a structural boundary.
+
+type Worker interface {
+	Ctx
+	Work() error
+}
+
+func afterInterfaceSync(w Worker) error {
+	if err := w.Sync(nil, "iface"); err != nil {
+		return err
+	}
+	return w.Send(1, 3, []byte("w")) // want `unmatched send: no Sync follows`
+}
+
+// --- the over-approximation is not an any-call approximation: a
+// helper with no barrier anywhere stays unmarked, so the send after it
+// is the caller-flushes pattern, not a finding.
+
+func pureHelper(c Ctx) error { return c.Send(2, 9, []byte("p")) }
+
+func afterPureHelper(c Ctx) error {
+	if err := pureHelper(c); err != nil {
+		return err
+	}
+	return c.Send(1, 4, []byte("q"))
+}

@@ -1,0 +1,50 @@
+// Package costparamscal is the golden fixture for the calibration
+// cross-check: its own results/calibrate.csv fits g = 1 and
+// L_{1,0} = 25000, so an annotated literal matching the fit is silent,
+// a drifted one is flagged, and an annotation citing a parameter the
+// artifact does not fit is flagged as such.
+package costparamscal
+
+type Machine struct{}
+
+type Tree struct{ Root *Machine }
+
+type Option func(*Machine)
+
+func WithSync(l float64) Option { return nil }
+
+func WithComm(r float64) Option { return nil }
+
+func NewCluster(name string, children []*Machine, opts ...Option) *Machine { return nil }
+
+func MustNew(root *Machine, g float64) *Tree { return nil }
+
+func calibratedOK() *Tree {
+	root := NewCluster("lan", nil, WithSync(25000)) //hbspk:calibrated L_{1,0}
+	return MustNew(root, 1)                         //hbspk:calibrated g
+}
+
+func calibratedDrift() *Tree {
+	// 30000 is 20% off the fitted 25000: someone edited the preset
+	// without re-running calibration.
+	root := NewCluster("lan", nil, WithSync(30000)) //hbspk:calibrated L_{1,0}  // want `calibrated parameter L_\{1,0\} = 30000 drifts 20.0% from the fitted value 25000`
+	return MustNew(root, 1)
+}
+
+func calibratedWideTolerance() *Tree {
+	// The same 20% drift under an explicit 0.25 tolerance is accepted.
+	root := NewCluster("lan", nil, WithSync(30000)) //hbspk:calibrated L_{1,0} 0.25
+	return MustNew(root, 1)
+}
+
+func calibratedUnknownParam() *Tree {
+	root := NewCluster("lan", nil, WithSync(25000)) //hbspk:calibrated L_{9,9}  // want `no such parameter in results/calibrate.csv`
+	return MustNew(root, 1)
+}
+
+func unannotated() *Tree {
+	// Without the directive a drifted literal is not judged: most
+	// literals are not calibrated quantities.
+	root := NewCluster("lan", nil, WithSync(90000))
+	return MustNew(root, 4)
+}

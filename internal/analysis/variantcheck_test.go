@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"hbspk/internal/model"
+	"hbspk/internal/obsv"
+)
+
+// The two golden runs are the "known switchpoints as static advice"
+// contract: flat -> hierarchical broadcast on the deep grid, one-phase
+// -> two-phase broadcast on the calibrated UCF testbed.
+
+func TestVariantCheckGoldenGrid(t *testing.T) {
+	runGolden(t, VariantCheck(model.WideAreaGrid(3, 4, 12, 25000, 250000), 1.2), "variantcheck")
+}
+
+func TestVariantCheckGoldenUCF(t *testing.T) {
+	runGolden(t, VariantCheck(model.UCFTestbed(), 1.2), "variantcheckucf")
+}
+
+// TestVariantCheckRatio: the advice threshold is configurable — at a
+// ratio above the actual win nothing is reported.
+func TestVariantCheckRatio(t *testing.T) {
+	loader, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("variantcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{VariantCheck(model.WideAreaGrid(3, 4, 12, 25000, 250000), 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == VariantCheckName {
+			t.Errorf("ratio 10 should silence the 3.4x win: %s", d.Message)
+		}
+	}
+}
+
+// TestCommGraphExport pins the exported wire document over the
+// costbound fixture: folded edges, symbolic byte expressions, cost
+// strings, and deterministic encoding.
+func TestCommGraphExport(t *testing.T) {
+	loader, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("costbound")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := CommGraphDocOf(pkgs, "hbspk")
+	if doc.Schema != obsv.CommGraphSchema {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if len(doc.Packages) != 1 || doc.Packages[0].Path != "costbound" {
+		t.Fatalf("packages = %+v", doc.Packages)
+	}
+	var er *obsv.FuncGraph
+	for i, f := range doc.Packages[0].Funcs {
+		if f.Name == "exchangeRounds" {
+			er = &doc.Packages[0].Funcs[i]
+		}
+	}
+	if er == nil {
+		t.Fatal("exchangeRounds missing from the export")
+	}
+	if len(er.Steps) != 2 {
+		t.Fatalf("exchangeRounds steps = %+v", er.Steps)
+	}
+	if got := er.Steps[0].Collectives; len(got) != 1 || got[0] != "BcastOnePhase" {
+		t.Errorf("step 0 collectives = %v", got)
+	}
+	wantEdge := obsv.CommEdge{Src: "*", Dst: "1", Tag: "5", Bytes: "128"}
+	if len(er.Steps[1].Edges) != 2 || er.Steps[1].Edges[0] != wantEdge {
+		t.Errorf("step 1 edges = %+v, want first %+v", er.Steps[1].Edges, wantEdge)
+	}
+	if !strings.Contains(er.Steps[1].Cost, "g*rmax*") || !strings.HasSuffix(er.Steps[1].Cost, "+ L") {
+		t.Errorf("step 1 cost = %q", er.Steps[1].Cost)
+	}
+
+	var a, b strings.Builder
+	if err := doc.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	doc2 := CommGraphDocOf(pkgs, "hbspk")
+	if err := doc2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("export is not deterministic")
+	}
+	parsed, err := obsv.ParseCommGraph(strings.NewReader(a.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Packages) != 1 {
+		t.Fatalf("round trip lost packages: %+v", parsed.Packages)
+	}
+}

@@ -1,0 +1,223 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"hbspk/internal/cost"
+	"hbspk/internal/model"
+)
+
+// Closed-form cost hooks: every shipped collective variant exposes its
+// analytic cost.Breakdown as a function of (machine tree, problem size),
+// keyed by the exact entrypoint name a caller writes in source. The
+// static analyzers (costbound, variantcheck) and the future auto-tuned
+// planner consume this one table; the closed forms themselves live in
+// internal/cost and are validated against the simulation by the
+// experiments suite — this file only fixes the callsite conventions
+// (root = fastest leaf, balanced distributions, the same choices
+// cmd/hbspk-sim's closedForm makes).
+
+// variantOpCost is the nominal per-byte combining cost used when a
+// variant's closed form takes an operator cost: comparisons between
+// variants of one family share it, so it cancels out of every
+// switchpoint that does not trade communication for computation.
+const variantOpCost = 1.0
+
+// CostVariant is one collective entrypoint with a closed-form cost.
+type CostVariant struct {
+	// Name is the exported entrypoint ("BcastOnePhase", "GatherHier").
+	Name string
+	// Family groups variants that compute the same result and are
+	// therefore interchangeable at a callsite ("bcast", "gather", ...).
+	Family string
+	// Hier marks the variants that exploit the machine hierarchy.
+	Hier bool
+	// Cost returns the analytic breakdown of moving/combining n total
+	// bytes on t. Distribution-taking variants use BalancedDist and the
+	// fastest leaf as root, matching the library's defaults.
+	Cost func(t *model.Tree, n int) cost.Breakdown
+}
+
+// Predict returns the variant's total predicted time for n bytes on t.
+func (v CostVariant) Predict(t *model.Tree, n int) float64 {
+	return v.Cost(t, n).Total()
+}
+
+// CostVariants returns the closed-form table for every shipped variant
+// that has one, in a stable order (family, then flat before hier).
+func CostVariants() []CostVariant {
+	root := func(t *model.Tree) int { return t.Pid(t.FastestLeaf()) }
+	vs := []CostVariant{
+		{"Gather", "gather", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.GatherFlat(t, root(t), cost.BalancedDist(t, n))
+		}},
+		{"GatherHier", "gather", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.GatherHier(t, cost.BalancedDist(t, n))
+		}},
+		{"BcastOnePhase", "bcast", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.BcastOnePhaseFlat(t, root(t), n)
+		}},
+		{"BcastTwoPhase", "bcast", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.BcastTwoPhaseFlat(t, root(t), cost.BalancedDist(t, n))
+		}},
+		{"BcastBinomial", "bcast", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.BcastBinomial(t, root(t), n)
+		}},
+		{"BcastHier", "bcast", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.BcastHier(t, n, false)
+		}},
+		{"BcastHierTwoPhase", "bcast", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.BcastHier(t, n, true)
+		}},
+		{"Scatter", "scatter", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.ScatterFlat(t, root(t), cost.BalancedDist(t, n))
+		}},
+		{"ScatterHier", "scatter", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.ScatterHier(t, cost.BalancedDist(t, n))
+		}},
+		{"AllGather", "allgather", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.AllGatherFlat(t, cost.BalancedDist(t, n))
+		}},
+		{"AllGatherHier", "allgather", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.AllGatherHierCost(t, cost.BalancedDist(t, n))
+		}},
+		{"Reduce", "reduce", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.ReduceFlat(t, root(t), cost.BalancedDist(t, n), variantOpCost)
+		}},
+		{"ReduceHier", "reduce", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.ReduceHier(t, cost.BalancedDist(t, n), variantOpCost)
+		}},
+		{"AllReduce", "allreduce", true, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.AllReduceHier(t, cost.BalancedDist(t, n), variantOpCost)
+		}},
+		{"Scan", "scan", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.ScanFlat(t, root(t), cost.BalancedDist(t, n), variantOpCost)
+		}},
+		{"ScanHier", "scan", true, func(t *model.Tree, n int) cost.Breakdown {
+			w := n / t.NProcs()
+			if w < 1 {
+				w = 1
+			}
+			return cost.ScanHierCost(t, w, variantOpCost)
+		}},
+		{"TotalExchange", "alltoall", false, func(t *model.Tree, n int) cost.Breakdown {
+			return cost.TotalExchangeFlat(t, cost.BalancedDist(t, n))
+		}},
+	}
+	return vs
+}
+
+// VariantByName returns the named variant's hook, if it has one.
+func VariantByName(name string) (CostVariant, bool) {
+	for _, v := range CostVariants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return CostVariant{}, false
+}
+
+// VariantsFor returns the variants of one family, table order.
+func VariantsFor(family string) []CostVariant {
+	var out []CostVariant
+	for _, v := range CostVariants() {
+		if v.Family == family {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BestVariant returns the cheapest variant of the family for n bytes on
+// t, with its predicted time; ok is false for an unknown family.
+func BestVariant(t *model.Tree, family string, n int) (best CostVariant, at float64, ok bool) {
+	for _, v := range VariantsFor(family) {
+		if c := v.Predict(t, n); !ok || c < at {
+			best, at, ok = v, c, true
+		}
+	}
+	return best, at, ok
+}
+
+// Switchpoint returns the smallest problem size in [lo, hi] at which
+// variant b becomes cheaper than variant a on t, assuming the usual
+// single-crossover shape (a wins at lo, b wins at hi): the
+// model-predicted algorithm switchpoint of the Barchet-Estefanel/Mounié
+// program, computed from the closed forms alone. ok is false when the
+// pair does not cross in the interval.
+func Switchpoint(t *model.Tree, a, b CostVariant, lo, hi int) (n int, ok bool) {
+	cheaper := func(n int) bool { return b.Predict(t, n) < a.Predict(t, n) }
+	if lo < 1 {
+		lo = 1
+	}
+	if cheaper(lo) || !cheaper(hi) {
+		return 0, false
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if cheaper(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// SwitchRow is one line of the static advice table: within a family, the
+// size at which `To` overtakes `From` on the given tree.
+type SwitchRow struct {
+	Family   string
+	From, To string
+	N        int
+}
+
+// SwitchpointTable computes every pairwise switchpoint in [lo, hi] on t,
+// sorted by (family, n, from, to) for deterministic output. This is the
+// table `hbspk-vet -cost -tree` prints: the machine's statically known
+// algorithm-selection rules.
+func SwitchpointTable(t *model.Tree, lo, hi int) []SwitchRow {
+	byFamily := map[string][]CostVariant{}
+	var families []string
+	for _, v := range CostVariants() {
+		if len(byFamily[v.Family]) == 0 {
+			families = append(families, v.Family)
+		}
+		byFamily[v.Family] = append(byFamily[v.Family], v)
+	}
+	sort.Strings(families)
+	var rows []SwitchRow
+	for _, fam := range families {
+		vs := byFamily[fam]
+		for i := range vs {
+			for j := range vs {
+				if i == j {
+					continue
+				}
+				if n, ok := Switchpoint(t, vs[i], vs[j], lo, hi); ok {
+					rows = append(rows, SwitchRow{Family: fam, From: vs[i].Name, To: vs[j].Name, N: n})
+				}
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return rows
+}
+
+// String renders the row as static advice.
+func (r SwitchRow) String() string {
+	return fmt.Sprintf("%-10s %s -> %s at n >= %d bytes", r.Family, r.From, r.To, r.N)
+}
