@@ -35,11 +35,15 @@ chaos:
 
 # verify smoke-tests the semantic checker: schedule exploration with
 # the happens-before checker armed must certify gather, bcast and
-# reduce delivery-order independent under 4 seeded permutations each.
+# reduce delivery-order independent under 4 seeded permutations each,
+# and the reorg property sweep proves rebalancing preserves topology
+# shape, the leaf multiset and every collective's sequential oracle.
 verify:
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
+	$(GO) test -count=1 -run 'TestReorganizePreservesShapeAndLeaves|TestPlanReorgDeterministic' ./internal/model/
+	$(GO) test -count=1 -run 'TestSweepOnReorganizedTrees' ./internal/collective/
 
 # bench runs the pvm fabric microbenchmarks at a fixed iteration count
 # (comparable across runs) plus the figure benchmarks, then emits
@@ -58,6 +62,12 @@ bench:
 		-max-rel 'BenchmarkSendRecvObsvOff=BenchmarkSendRecv:1.05' \
 		-o BENCH_PR4.json bench/pvm.txt bench/figures.txt
 	@echo wrote BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkReorgMakespan|BenchmarkRankedLeaves|BenchmarkRank$$|BenchmarkPlanReorg' \
+		-benchmem -benchtime 100x ./internal/hbsp/ ./internal/model/ | tee bench/reorg.txt
+	$(GO) run ./cmd/hbspk-benchjson \
+		-max-metric-rel 'BenchmarkReorgMakespan/reorg=BenchmarkReorgMakespan/frozen:model-cost:0.9' \
+		-o BENCH_PR7.json bench/reorg.txt
+	@echo wrote BENCH_PR7.json
 
 # cover enforces the coverage floor: total statement coverage must not
 # drop below bench/coverage_baseline.txt (percent, one line). The

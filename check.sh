@@ -31,6 +31,18 @@ go test -race ./...
 # unmistakable in CI output.
 go test -race -count=1 -run Chaos ./internal/fabric/ ./internal/hbsp/ ./internal/collective/
 
+# Seeded churn+reorg soak smoke (DESIGN.md §5.7): elastic membership
+# with hashed join/leave points, a straggler burst and barrier-time
+# rebalancing every third superstep, on both engines under the race
+# detector — the virtual engine must reproduce itself bit-for-bit and
+# the concurrent engine must agree on fold and final layout. Budgeted
+# well inside 30s wall time.
+start=$(date +%s)
+go test -race -count=1 -run 'ChurnReorgSoak' ./internal/hbsp/
+elapsed=$(( $(date +%s) - start ))
+echo "churn+reorg soak wall time: ${elapsed}s (budget 30s)"
+[ "$elapsed" -le 30 ]
+
 # Static cost analysis (DESIGN.md §5.6): the analyzer suite plus the
 # variantcheck advisor over the repo's non-test code on the grid tree
 # must report nothing (tests deliberately exercise every variant at

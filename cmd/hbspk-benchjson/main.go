@@ -58,13 +58,28 @@ type Relative struct {
 	AllocsDelta float64 `json:"allocs_delta"`
 }
 
+// MetricRelative compares one custom b.ReportMetric unit between two
+// benchmarks from the same run (current/base; below 1 means the
+// current one's metric is smaller). Used by the reorg makespan gate,
+// where the rebalanced run must beat the frozen-tree baseline on
+// modeled cost.
+type MetricRelative struct {
+	Name      string  `json:"name"`
+	Base      string  `json:"base"`
+	Unit      string  `json:"unit"`
+	Rel       float64 `json:"rel"`
+	Value     float64 `json:"value"`
+	BaseValue float64 `json:"base_value"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Env          map[string]string `json:"env,omitempty"`
-	Benchmarks   []Benchmark       `json:"benchmarks"`
-	Baseline     []Benchmark       `json:"baseline,omitempty"`
-	Improvements []Improvement     `json:"improvements,omitempty"`
-	Relatives    []Relative        `json:"relatives,omitempty"`
+	Env             map[string]string `json:"env,omitempty"`
+	Benchmarks      []Benchmark       `json:"benchmarks"`
+	Baseline        []Benchmark       `json:"baseline,omitempty"`
+	Improvements    []Improvement     `json:"improvements,omitempty"`
+	Relatives       []Relative        `json:"relatives,omitempty"`
+	MetricRelatives []MetricRelative  `json:"metric_relatives,omitempty"`
 }
 
 // gomaxprocsSuffix is the trailing -N go test appends to benchmark
@@ -155,6 +170,8 @@ func main() {
 		"fail unless every benchmark matching prefix improved allocs/op by factor (comma-separated prefix:factor pairs)")
 	maxRel := flag.String("max-rel", "",
 		"fail unless every benchmark with prefix stays within factor of its in-run partner on ns/op and allocs/op (comma-separated prefix=basePrefix:factor clauses)")
+	maxMetricRel := flag.String("max-metric-rel", "",
+		"fail unless every benchmark with prefix keeps the custom metric unit within factor of its in-run partner's (comma-separated prefix=basePrefix:unit:factor clauses)")
 	flag.Parse()
 
 	rep := Report{Env: map[string]string{}}
@@ -196,6 +213,11 @@ func main() {
 	var relErr error
 	if *maxRel != "" {
 		relErr = checkRelGate(&rep, *maxRel)
+	}
+	if *maxMetricRel != "" {
+		if err := checkMetricRelGate(&rep, *maxMetricRel); err != nil && relErr == nil {
+			relErr = err
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -278,6 +300,70 @@ func checkRelGate(rep *Report, spec string) error {
 		}
 		if !matched && firstErr == nil {
 			firstErr = fmt.Errorf("no benchmark matches -max-rel prefix %q", prefix)
+		}
+	}
+	return firstErr
+}
+
+// checkMetricRelGate enforces "prefix=basePrefix:unit:factor" limits on
+// custom b.ReportMetric units: every benchmark whose name starts with
+// prefix must have a partner in the same run (prefix swapped for
+// basePrefix) and its unit metric must stay within factor of the
+// partner's. Factors below 1 demand an outright win — the reorg
+// makespan gate uses this to require the rebalanced run to beat the
+// frozen-tree baseline. Computed pairs land in rep.MetricRelatives so
+// the JSON artifact records the margin either way.
+func checkMetricRelGate(rep *Report, spec string) error {
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	var firstErr error
+	for _, clause := range strings.Split(spec, ",") {
+		pair, rest, ok := strings.Cut(clause, ":")
+		unit, factorStr, ok2 := strings.Cut(rest, ":")
+		prefix, basePrefix, ok3 := strings.Cut(pair, "=")
+		if !ok || !ok2 || !ok3 {
+			return fmt.Errorf("bad -max-metric-rel clause %q (want prefix=basePrefix:unit:factor)", clause)
+		}
+		limit, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad factor in %q: %v", clause, err)
+		}
+		matched := false
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, prefix) {
+				continue
+			}
+			baseName := basePrefix + strings.TrimPrefix(b.Name, prefix)
+			base, ok := byName[baseName]
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: no in-run partner %s", b.Name, baseName)
+				}
+				continue
+			}
+			cur, curOK := b.Metrics[unit]
+			bv, baseOK := base.Metrics[unit]
+			if !curOK || !baseOK {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s vs %s: metric %q missing from one side", b.Name, baseName, unit)
+				}
+				continue
+			}
+			matched = true
+			rel := MetricRelative{
+				Name: b.Name, Base: baseName, Unit: unit,
+				Rel: relRatio(cur, bv), Value: cur, BaseValue: bv,
+			}
+			rep.MetricRelatives = append(rep.MetricRelatives, rel)
+			if rel.Rel > limit && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %s %.4g vs %s's %.4g (%.3fx, limit %.2fx)",
+					b.Name, unit, cur, baseName, bv, rel.Rel, limit)
+			}
+		}
+		if !matched && firstErr == nil {
+			firstErr = fmt.Errorf("no benchmark pair matches -max-metric-rel prefix %q with metric %q", prefix, unit)
 		}
 	}
 	return firstErr

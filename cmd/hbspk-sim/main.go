@@ -14,6 +14,16 @@
 //	hbspk-sim -machine ucf -collective ft-gather -crash 3@1
 //	hbspk-sim -collective ft-allreduce -drop 0.1 -chaos-seed 7
 //
+// Self-healing: -reorg-every rebalances the machine tree from measured
+// speed estimates at every Nth global barrier, and -churn schedules
+// elastic membership (late joins, orderly leaves) — the churn-soak
+// collective is an iterative workload built to survive both:
+//
+//	hbspk-sim -machine ucf -collective churn-soak -rounds 12 \
+//	    -churn join:6@2,leave:4@5 -straggler 1@0-30x5 \
+//	    -reorg-every 3 -reorg-seed 11
+//	hbspk-sim -collective churn-soak -churn seeded:2:2:4 -reorg-every 3
+//
 // Verification: -verify arms the happens-before determinism checker
 // (vector clocks on every message and barrier), and -explore N replays
 // the program under N seeded delivery-order permutations and diffs the
@@ -75,6 +85,60 @@ func fail(code int, err error) {
 	os.Exit(code)
 }
 
+// parseChurns turns "join:3@2,leave:2@4" into elastic-membership fates
+// (join points are completed global barriers, leave points sync
+// ordinals). The form "seeded:joins:leaves:span" delegates to the
+// deterministic SeededChurn generator with the chaos seed.
+func parseChurns(spec string, seed int64, nprocs int) ([]fabric.Churn, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "seeded:"); ok {
+		var joins, leaves, span int
+		if _, err := fmt.Sscanf(rest, "%d:%d:%d", &joins, &leaves, &span); err != nil {
+			return nil, fmt.Errorf("bad -churn %q (want seeded:joins:leaves:span): %w", spec, err)
+		}
+		return fabric.SeededChurn(seed, nprocs, joins, leaves, span), nil
+	}
+	var out []fabric.Churn
+	for _, part := range strings.Split(spec, ",") {
+		kind, at, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -churn entry %q (want join:pid@barrier or leave:pid@sync)", part)
+		}
+		var pid, when int
+		if _, err := fmt.Sscanf(at, "%d@%d", &pid, &when); err != nil {
+			return nil, fmt.Errorf("bad -churn entry %q: %w", part, err)
+		}
+		switch kind {
+		case "join":
+			out = append(out, fabric.Churn{Pid: pid, JoinAt: when})
+		case "leave":
+			out = append(out, fabric.Churn{Pid: pid, LeaveAt: when})
+		default:
+			return nil, fmt.Errorf("bad -churn kind %q (want join or leave)", kind)
+		}
+	}
+	return out, nil
+}
+
+// parseStragglers turns "1@0-30x5" into straggler windows.
+func parseStragglers(spec string) ([]fabric.Straggler, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []fabric.Straggler
+	for _, part := range strings.Split(spec, ",") {
+		var pid, from, to int
+		var factor float64
+		if _, err := fmt.Sscanf(part, "%d@%d-%dx%f", &pid, &from, &to, &factor); err != nil {
+			return nil, fmt.Errorf("bad -straggler entry %q (want pid@from-toxfactor): %w", part, err)
+		}
+		out = append(out, fabric.Straggler{Pid: pid, FromStep: from, ToStep: to, Factor: factor})
+	}
+	return out, nil
+}
+
 // parseCrashes turns "2@1,5@3" into crash-stop injections.
 func parseCrashes(spec string) ([]fabric.Crash, error) {
 	if spec == "" {
@@ -94,7 +158,7 @@ func parseCrashes(spec string) ([]fabric.Crash, error) {
 func main() {
 	machine := flag.String("machine", "figure1", "preset (ucf, figure1, grid, chain) or JSON spec path")
 	coll := flag.String("collective", "gather-hier",
-		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, ft-gather, ft-bcast, ft-reduce, ft-allreduce, nondet-reduce, mutate-send")
+		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, ft-gather, ft-bcast, ft-reduce, ft-allreduce, churn-soak, nondet-reduce, mutate-send")
 	n := flag.Int("n", 400000, "problem size in bytes")
 	pure := flag.Bool("pure", false, "pure cost model instead of PVM overheads")
 	width := flag.Int("timeline-width", 100, "timeline width in columns")
@@ -103,6 +167,11 @@ func main() {
 	dot := flag.Bool("dot", false, "print the machine as Graphviz DOT and exit")
 	jsonOut := flag.String("json", "", "also write the run report as JSON to this path")
 	crash := flag.String("crash", "", "crash-stop injections, comma-separated pid@step pairs (e.g. 2@1,5@3)")
+	churn := flag.String("churn", "", "elastic membership: join:pid@barrier and leave:pid@sync entries, or seeded:joins:leaves:span")
+	straggler := flag.String("straggler", "", "straggler windows, comma-separated pid@from-toxfactor entries (e.g. 1@0-30x5)")
+	reorgEvery := flag.Int("reorg-every", 0, "rebalance the tree from measured estimates every N global barriers (0 = frozen)")
+	reorgSeed := flag.Int64("reorg-seed", 1, "reorg plan tie-break seed (equal seeds, equal schedules)")
+	rounds := flag.Int("rounds", 8, "iteration count for the churn-soak collective")
 	drop := flag.Float64("drop", 0, "chaos: fraction of messages dropped")
 	dup := flag.Float64("duplicate", 0, "chaos: fraction of messages duplicated")
 	delay := flag.Float64("delay", 0, "chaos: fraction of messages delayed")
@@ -141,11 +210,21 @@ func main() {
 	if err != nil {
 		fail(2, err)
 	}
+	churns, err := parseChurns(*churn, *chaosSeed, tr.NProcs())
+	if err != nil {
+		fail(2, err)
+	}
+	stragglers, err := parseStragglers(*straggler)
+	if err != nil {
+		fail(2, err)
+	}
 	var plan *fabric.ChaosPlan
-	if len(crashes) > 0 || *drop > 0 || *dup > 0 || *delay > 0 {
+	if len(crashes) > 0 || len(churns) > 0 || len(stragglers) > 0 || *drop > 0 || *dup > 0 || *delay > 0 {
 		plan = &fabric.ChaosPlan{
 			Seed:       *chaosSeed,
 			Crashes:    crashes,
+			Churns:     churns,
+			Stragglers: stragglers,
 			Drop:       *drop,
 			Duplicate:  *dup,
 			Delay:      *delay,
@@ -153,7 +232,7 @@ func main() {
 		}
 	}
 
-	prog, err := program(tr, *coll, *n)
+	prog, err := program(tr, *coll, *n, *rounds)
 	if err != nil {
 		fail(2, err)
 	}
@@ -161,6 +240,8 @@ func main() {
 	eng.Chaos = plan
 	eng.DetectFactor = *detect
 	eng.Verify = *verify
+	eng.ReorgEvery = *reorgEvery
+	eng.ReorgSeed = *reorgSeed
 
 	// One recorder feeds every observability sink; exporting is
 	// post-quiesce, the debug endpoint live.
@@ -288,7 +369,7 @@ func closedForm(tr *model.Tree, coll string, n int) (cost.Breakdown, bool) {
 }
 
 // program builds the SPMD body for the chosen collective.
-func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
+func program(tr *model.Tree, coll string, n, rounds int) (hbsp.Program, error) {
 	rootPid := tr.Pid(tr.FastestLeaf())
 	balanced := cost.BalancedDist(tr, n)
 	vecLen := n / 8 / tr.NProcs()
@@ -425,6 +506,74 @@ func program(tr *model.Tree, coll string, n int) (hbsp.Program, error) {
 			}
 			_, err := collective.TotalExchange(c, c.Tree().Root, out)
 			return err
+		}, nil
+	case "churn-soak":
+		// A self-synchronizing iterative workload built to survive
+		// elastic membership: processor 0 coordinates termination by
+		// broadcasting a stop flag each round while the other members
+		// fold data back; membership notices (ErrPeerJoined,
+		// ErrPeerFailed) are absorbed by re-sending and retrying the
+		// barrier. A late joiner does not know the round number — it
+		// obeys the stop flag. Pairs with -churn, -straggler and
+		// -reorg-every.
+		return func(c hbsp.Ctx) error {
+			const (
+				soakCtl  = 7
+				soakData = 8
+			)
+			root := c.Tree().Root
+			var sum int64
+			stop := false
+			for round := 0; !stop; round++ {
+				for { // one retry per absorbed membership notice
+					failed := map[int]bool{}
+					for _, f := range c.Failed() {
+						failed[f] = true
+					}
+					if c.Pid() == 0 {
+						flag := byte(0)
+						if round >= rounds-1 {
+							flag = 1
+						}
+						for _, m := range c.Members() {
+							if m != 0 && !failed[m] {
+								if err := c.Send(m, soakCtl, []byte{flag}); err != nil {
+									return err
+								}
+							}
+						}
+					} else {
+						if err := c.Send(0, soakData, []byte{byte(c.Pid())}); err != nil {
+							return err
+						}
+					}
+					c.Charge(float64(balanced[c.Pid()]))
+					err := c.Sync(root, "soak")
+					if err == nil {
+						break
+					}
+					var pj *hbsp.ErrPeerJoined
+					var pf *hbsp.ErrPeerFailed
+					if !errors.As(err, &pj) && !errors.As(err, &pf) {
+						return err
+					}
+				}
+				for _, m := range c.Moves() {
+					switch {
+					case c.Pid() == 0 && m.Tag == soakData:
+						sum += int64(m.Payload[0]) + int64(round)
+					case m.Src == 0 && m.Tag == soakCtl:
+						stop = m.Payload[0] == 1
+					}
+				}
+				if c.Pid() == 0 {
+					stop = round >= rounds-1
+				}
+			}
+			if c.Pid() == 0 {
+				c.Save("fold", digestVec([]int64{sum}))
+			}
+			return nil
 		}, nil
 	case "nondet-reduce":
 		// Deliberately schedule-dependent: the root folds arrivals in

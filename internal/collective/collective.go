@@ -14,6 +14,7 @@ package collective
 
 import (
 	"fmt"
+	"sort"
 
 	"hbspk/internal/hbsp"
 	"hbspk/internal/model"
@@ -28,8 +29,10 @@ func participants(c hbsp.Ctx, scope *model.Machine) []int {
 	for i, l := range leaves {
 		pids[i] = c.Tree().Pid(l)
 	}
-	// Leaves() is left-to-right, which matches pid order by
-	// construction of the tree's pid assignment.
+	// On a freshly built tree Leaves() is left-to-right pid order, but a
+	// barrier-time reorganization permutes leaf slots while keeping pids
+	// stable — sort so participant indexes survive rebalancing.
+	sort.Ints(pids)
 	return pids
 }
 

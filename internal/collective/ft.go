@@ -86,16 +86,23 @@ func NewFT(c hbsp.Ctx, scope *model.Machine) *FT {
 }
 
 // Live returns the scope members this processor knows to be alive, in
-// pid order. After any fault-tolerant operation returns — normally or
-// with a survivor-consistent error — all live members agree on it.
+// pid order: the scope's leaves intersected with the active-membership
+// view (Ctx.Members — a dormant leaf awaiting its join cut is not yet a
+// participant) minus the failed set. After any fault-tolerant operation
+// returns — normally or with a survivor-consistent error — all live
+// members agree on it.
 func (f *FT) Live() []int {
 	dead := make(map[int]bool)
 	for _, pid := range f.c.Failed() {
 		dead[pid] = true
 	}
+	active := make(map[int]bool)
+	for _, pid := range f.c.Members() {
+		active[pid] = true
+	}
 	var out []int
 	for _, pid := range participants(f.c, f.scope) {
-		if !dead[pid] {
+		if active[pid] && !dead[pid] {
 			out = append(out, pid)
 		}
 	}
@@ -110,8 +117,13 @@ func (f *FT) Coordinator() int {
 	for _, pid := range f.c.Failed() {
 		dead[pid] = true
 	}
+	active := make(map[int]bool)
+	for _, pid := range f.c.Members() {
+		active[pid] = true
+	}
 	m := f.scope.CoordinatorAmong(func(l *model.Machine) bool {
-		return !dead[f.c.Tree().Pid(l)]
+		pid := f.c.Tree().Pid(l)
+		return active[pid] && !dead[pid]
 	})
 	if m == nil {
 		return -1
@@ -154,6 +166,15 @@ func (f *FT) sync(label string) (retry bool, err error) {
 	err = f.c.Sync(f.scope, label)
 	var pf *hbsp.ErrPeerFailed
 	if errors.As(err, &pf) {
+		return true, nil
+	}
+	// A join notice restarts the epoch the same way a failure does:
+	// every old member observes ErrPeerJoined at the same generation and
+	// retries together. (The newcomer itself cannot enter a session
+	// mid-flight — FT message tags are session-call counters — so
+	// join-heavy programs open fresh sessions after a membership cut.)
+	var pj *hbsp.ErrPeerJoined
+	if errors.As(err, &pj) {
 		return true, nil
 	}
 	return false, err

@@ -45,8 +45,13 @@ func AllGatherHier(c hbsp.Ctx, local []byte) (map[int][]byte, error) {
 	return out, nil
 }
 
-// ScanHier computes the inclusive prefix reduction over pid order with
-// two hierarchical sweeps: an upward sweep in which every cluster
+// ScanHier computes the inclusive prefix reduction over the tree's
+// depth-first machine order — which equals pid order on a freshly
+// built tree, but follows the layout after a reorganization permutes
+// leaf slots (a hierarchical sweep cannot order by pid once subtrees
+// hold non-contiguous pid sets; callers needing strict pid order use
+// the flat Scan). The algorithm is two hierarchical sweeps: an upward
+// sweep in which every cluster
 // coordinator folds its children's subtree totals (keeping the partial
 // prefixes), and a downward sweep distributing each subtree's inbound
 // offset. No identity element is required: the first subtree simply

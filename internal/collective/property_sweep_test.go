@@ -439,8 +439,12 @@ func sweepCases() []sweepCase {
 				return err
 			},
 			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
-				for pid := 0; pid < env.p; pid++ {
-					checkVec(t, env, "scan-hier", pid, s.vs[pid], env.fold(env.allPids()[:pid+1]))
+				// ScanHier's prefix order is the tree's depth-first machine
+				// order: pid order on a fresh tree, layout order after a
+				// reorganization.
+				order := slotPidsOf(env.tr)
+				for pos, pid := range order {
+					checkVec(t, env, "scan-hier", pid, s.vs[pid], env.fold(order[:pos+1]))
 				}
 			},
 		},

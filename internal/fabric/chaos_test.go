@@ -103,3 +103,70 @@ func TestChaosDropWinsOverOtherFates(t *testing.T) {
 		t.Errorf("fate = %+v, want pure drop", f)
 	}
 }
+
+func TestChurnQueries(t *testing.T) {
+	var nilPlan *ChaosPlan
+	if nilPlan.JoinStep(1) != 0 || nilPlan.LeaveNow(1, 5) {
+		t.Fatal("nil plan churned a processor")
+	}
+	p := &ChaosPlan{Churns: []Churn{
+		{Pid: 2, JoinAt: 3},
+		{Pid: 1, LeaveAt: 4},
+	}}
+	if !p.active() {
+		t.Fatal("churn-only plan should be active")
+	}
+	if got := p.JoinStep(2); got != 3 {
+		t.Fatalf("JoinStep(2) = %d, want 3", got)
+	}
+	if got := p.JoinStep(1); got != 0 {
+		t.Fatalf("JoinStep(1) = %d, want 0 (leaver, not joiner)", got)
+	}
+	if p.LeaveNow(1, 3) {
+		t.Fatal("left before its step")
+	}
+	if !p.LeaveNow(1, 4) || !p.LeaveNow(1, 9) {
+		t.Fatal("LeaveNow should latch at and after the step")
+	}
+	if p.LeaveNow(2, 10) {
+		t.Fatal("joiner should not leave")
+	}
+}
+
+func TestSeededChurnDeterministicAndBounded(t *testing.T) {
+	a := SeededChurn(42, 8, 2, 2, 5)
+	b := SeededChurn(42, 8, 2, 2, 5)
+	if len(a) != 4 {
+		t.Fatalf("want 2 joins + 2 leaves, got %d fates", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %+v vs %+v", a[i], b[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range a {
+		if seen[c.Pid] {
+			t.Fatalf("pid %d churned twice", c.Pid)
+		}
+		seen[c.Pid] = true
+		if c.Pid == 0 {
+			t.Fatal("pid 0 must stay stable")
+		}
+		if c.JoinAt > 0 && (c.JoinAt < 1 || c.JoinAt > 5) {
+			t.Fatalf("JoinAt %d outside [1,5]", c.JoinAt)
+		}
+		if c.LeaveAt > 0 && c.LeaveAt <= 5 {
+			t.Fatalf("LeaveAt %d should land after the join window", c.LeaveAt)
+		}
+	}
+	if diff := SeededChurn(43, 8, 2, 2, 5); diff[0] == a[0] && diff[1] == a[1] && diff[2] == a[2] {
+		t.Fatal("different seed produced the identical schedule")
+	}
+	if got := SeededChurn(42, 1, 3, 3, 5); got != nil {
+		t.Fatal("single-processor machine cannot churn")
+	}
+	if got := SeededChurn(42, 4, 9, 9, 5); len(got) > 3+2 {
+		t.Fatalf("counts not clamped: %d fates for 4 pids", len(got))
+	}
+}

@@ -91,6 +91,18 @@ type Concurrent struct {
 	// Config.CheckpointByte for the same commits.
 	Ckpt            *CheckpointStore
 	CheckpointEvery int
+
+	// ReorgEvery, ReorgSeed and ReorgAlpha mirror the virtual engine's
+	// reorganization knobs (DESIGN.md §5.7): every ReorgEvery-th
+	// completed global superstep the run opens a cut window — all live
+	// processors park on a pair of cut barriers while one applier
+	// rebalances the tree from the shared EWMA estimates via the seeded
+	// model.PlanReorg. The same window activates dormant joiners. The
+	// tree is mutated in place; restore it with Tree.SaveLayout /
+	// RestoreLayout to rerun from the pristine layout.
+	ReorgEvery int
+	ReorgSeed  int64
+	ReorgAlpha float64
 }
 
 // defaultDesyncTimeout balances catching real deadlocks quickly against
@@ -124,9 +136,20 @@ type cctx struct {
 	// ord counts this processor's Sync calls across all scopes: the
 	// chaos plan's per-processor step ordinal.
 	ord int
+	// opsAcc accumulates Charge()d ops since the last Sync; the amount
+	// is captured at Sync entry and, only if the barrier succeeds, its
+	// effective slowdown is folded into the shared reorg estimate —
+	// the same observe-on-success rule the virtual engine applies, so
+	// equal seeds produce equal estimate streams on both engines.
+	opsAcc float64
+	// rootDone counts this processor's successful root-scope syncs: the
+	// engine-independent consistent-cut ordinal (a joiner starts at its
+	// activation cut), driving checkpoint cadence and cut windows.
+	rootDone int
 
-	failedView []int
-	ckptStage  map[string][]byte
+	failedView  []int
+	membersView []int
+	ckptStage   map[string][]byte
 
 	// Verification state: this processor's vector clock, the metadata of
 	// the current delivery window, and the count of completed syncs.
@@ -172,11 +195,54 @@ type crun struct {
 	acked       map[int]map[string]map[int]bool
 	detectCount map[int]int
 	waitEWMA    time.Duration
+	// exitc wakes a cut applier waiting for a crash victim's goroutine
+	// to finish unwinding: a resumed victim still runs user code that
+	// may read the tree, so the applier must not rebalance over it.
+	// Signaled by markExited; waits under mu.
+	exitc *sync.Cond
+
+	// Elastic-membership state, under mu. dormant pids await their
+	// activation cut behind a per-pid gate channel (their tasks are
+	// pre-spawned but parked); joined records activated latecomers
+	// (pid -> activation cut) pending acknowledgment;
+	// ackedJoin[pid][scope] is the joined set pid has acknowledged on
+	// that scope — the join notice burns one sync generation on every
+	// scope containing the newcomer, for every member including the
+	// newcomer itself, mirroring the virtual engine exactly;
+	// knownActive[pid] is pid's membership view; gens[scope] is the
+	// next sync generation of the scope (every Sync entry raises it),
+	// snapshotted into joinGens at activation so a newcomer's syncSeq
+	// starts aligned with the old members'.
+	dormant     map[int]bool
+	joined      map[int]int
+	ackedJoin   map[int]map[string]map[int]bool
+	knownActive map[int]map[int]bool
+	gens        map[string]int
+	joinGens    map[int]map[string]int
+	gates       map[int]chan struct{}
+	// cutGens is the applier's snapshot of gens at the last membership
+	// cut, taken while every live processor is parked inside the cut
+	// window; members re-align their per-scope generations against it
+	// when they leave the window (a rebalance can move a leaf under a
+	// scope it has never synced on).
+	cutGens map[string]int
+
+	// Reorganization state, under mu: rer folds each processor's
+	// measured effective compute slowdown; epoch counts applied
+	// reorganizations.
+	rer   *model.Reranker
+	epoch int
 }
 
-// ackScope marks every dead member of the scope acknowledged by pid and
-// returns the smallest newly dead member plus pid's updated global dead
-// view. Caller holds mu. Returns -1 when nothing was unacknowledged.
+// ackScope marks exactly ONE dead member of the scope — the smallest
+// unacknowledged one — acknowledged by pid, and returns it plus pid's
+// updated global dead view. One peer per notice is what keeps barrier
+// generations aligned under near-simultaneous deaths: a member that
+// entered between two deaths must burn one generation per victim, so a
+// member that learned of both at once must burn two as well. Batching
+// would let the late entrant fold both into one burned generation and
+// park one generation behind its peers forever. Caller holds mu.
+// Returns -1 when nothing was unacknowledged.
 func (s *crun) ackScope(pid int, scope string, members []int) (int, []int) {
 	first := -1
 	for _, m := range members {
@@ -195,11 +261,7 @@ func (s *crun) ackScope(pid int, scope string, members []int) (int, []int) {
 	if s.acked[pid][scope] == nil {
 		s.acked[pid][scope] = make(map[int]bool)
 	}
-	for _, m := range members {
-		if s.dead[m] != nil {
-			s.acked[pid][scope][m] = true
-		}
-	}
+	s.acked[pid][scope][first] = true
 	union := make(map[int]bool)
 	for _, perScope := range s.acked[pid] {
 		for dp := range perScope {
@@ -207,6 +269,42 @@ func (s *crun) ackScope(pid int, scope string, members []int) (int, []int) {
 		}
 	}
 	return first, sortedPids(union)
+}
+
+// ackJoinScope marks every joined (activated-latecomer) member of the
+// scope acknowledged by pid and returns the smallest newly joined
+// member, its activation cut, and pid's updated membership view. The
+// requester itself counts — a newcomer burns the same notice generation
+// as everyone else, which keeps per-scope generations aligned. Caller
+// holds mu. Returns -1 when nothing was unacknowledged.
+func (s *crun) ackJoinScope(pid int, scope string, members []int) (int, int, []int) {
+	first := -1
+	for _, m := range members {
+		if _, ok := s.joined[m]; ok && !s.ackedJoin[pid][scope][m] {
+			if first < 0 || m < first {
+				first = m
+			}
+		}
+	}
+	if first < 0 {
+		return -1, 0, nil
+	}
+	if s.ackedJoin[pid] == nil {
+		s.ackedJoin[pid] = make(map[string]map[int]bool)
+	}
+	if s.ackedJoin[pid][scope] == nil {
+		s.ackedJoin[pid][scope] = make(map[int]bool)
+	}
+	if s.knownActive[pid] == nil {
+		s.knownActive[pid] = make(map[int]bool)
+	}
+	for _, m := range members {
+		if _, ok := s.joined[m]; ok {
+			s.ackedJoin[pid][scope][m] = true
+			s.knownActive[pid][m] = true
+		}
+	}
+	return first, s.joined[first], sortedPids(s.knownActive[pid])
 }
 
 // syncWait describes one processor parked in Sync: the scope's label,
@@ -230,25 +328,41 @@ type syncWait struct {
 // with pre-failure ones. A crashing member holds the same lock while it
 // marks itself dead and collects parked waiters to cancel, so every
 // survivor either parks before the cancel or sees the dead set here.
-func (s *crun) checkAndEnter(pid int, w *syncWait) (deadPid int, info *failInfo, deadView []int, count int) {
+func (s *crun) checkAndEnter(pid int, w *syncWait) (res enterResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	res.deadPid, res.joinPid = -1, -1
+
+	// gens tracks the scope's next generation regardless of the path
+	// this sync takes: a notice-consumed generation is still burned.
+	if w.gen+1 > s.gens[w.scope] {
+		s.gens[w.scope] = w.gen + 1
+	}
 
 	if first, view := s.ackScope(pid, w.scope, w.members); first >= 0 {
-		return first, s.dead[first], view, 0
+		res.deadPid, res.deadInfo, res.deadView = first, s.dead[first], view
+		return res
+	}
+	if first, step, view := s.ackJoinScope(pid, w.scope, w.members); first >= 0 {
+		res.joinPid, res.joinStep, res.joinView = first, step, view
+		return res
 	}
 
 	// Shrunken barrier identity: generation plus this pid's acked dead
 	// members of the scope. The failure protocol guarantees every live
 	// member acks the same dead set at the same generation, so all
-	// survivors compute the same name and the same live count.
+	// survivors compute the same name and the same live count. Dormant
+	// members are outside the run entirely until their activation cut:
+	// not counted and not tagged.
 	var deadTag []string
-	count = 0
 	for _, m := range w.members {
+		if s.dormant[m] {
+			continue
+		}
 		if s.acked[pid][w.scope][m] {
 			deadTag = append(deadTag, fmt.Sprintf("%d", m))
 		} else {
-			count++
+			res.count++
 		}
 	}
 	if len(deadTag) > 0 {
@@ -261,16 +375,29 @@ func (s *crun) checkAndEnter(pid int, w *syncWait) (deadPid int, info *failInfo,
 		s.arrived[pid] = m
 	}
 	m[w.scope] = w.gen
-	return -1, nil, nil, count
+	return res
+}
+
+// enterResult is checkAndEnter's verdict: exactly one of a dead-peer
+// notice (deadPid >= 0), a join notice (joinPid >= 0), or a registered
+// barrier wait of the given live count.
+type enterResult struct {
+	deadPid  int
+	deadInfo *failInfo
+	deadView []int
+	joinPid  int
+	joinStep int
+	joinView []int
+	count    int
 }
 
 // crashSelf is the victim side: mark pid dead under mu and collect the
 // barrier names of parked survivors waiting on scopes containing pid,
 // then cancel them outside the lock. Canceled waiters wake with
 // ErrCanceled and convert it to ErrPeerFailed.
-func (s *crun) crashSelf(pid, ord int) {
+func (s *crun) crashSelf(pid, ord int, cause string) {
 	s.mu.Lock()
-	s.dead[pid] = &failInfo{step: ord, cause: "crash-stop"}
+	s.dead[pid] = &failInfo{step: ord, cause: cause}
 	var cancel []string
 	for waiter, w := range s.waiting {
 		if waiter == pid {
@@ -320,7 +447,32 @@ func (s *crun) markExited(pid int) {
 	s.mu.Lock()
 	s.exited[pid] = true
 	s.progress++
+	s.exitc.Broadcast()
+	// When the last non-dormant task exits, no cut window can ever run
+	// again (appliers are live tasks), so never-activated joiners are
+	// released: their gates close, and the waking tasks see no joined
+	// record and return without running the program.
+	var release []chan struct{}
+	if len(s.exited) == s.nprocs-len(s.dormant) {
+		for dp := range s.dormant {
+			release = append(release, s.gates[dp])
+		}
+	}
 	s.mu.Unlock()
+	for _, g := range release {
+		close(g)
+	}
+}
+
+// deadUnwindingLocked reports whether any crash-stopped or departed
+// processor's goroutine is still running user code. Caller holds mu.
+func (s *crun) deadUnwindingLocked() bool {
+	for pid := range s.dead {
+		if !s.exited[pid] {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *crun) desyncErr() error {
@@ -352,6 +504,14 @@ func (s *crun) barrierDeadline(pid int, factor float64) time.Duration {
 func (s *crun) noteTimeout(pid int) {
 	s.mu.Lock()
 	s.detectCount[pid]++
+	s.mu.Unlock()
+}
+
+// observe folds one processor's measured effective compute slowdown
+// into the shared reorg estimate.
+func (s *crun) observe(pid int, sample float64) {
+	s.mu.Lock()
+	s.rer.Observe(pid, sample)
 	s.mu.Unlock()
 }
 
@@ -408,7 +568,10 @@ func (s *crun) watch(sys *pvm.System, timeout time.Duration, done <-chan struct{
 				sys.CancelBarrier(name)
 			}
 			s.mu.Lock()
-			allParked := len(s.waiting) > 0 && len(s.waiting)+len(s.exited) == s.nprocs
+			// Dormant processors are parked by definition: their tasks
+			// idle behind activation gates, so they never count as
+			// missing arrivals.
+			allParked := len(s.waiting) > 0 && len(s.waiting)+len(s.exited)+len(s.dormant) == s.nprocs
 			if !allParked || !stalled || s.progress != stallProgress {
 				stalled = allParked
 				stallProgress = s.progress
@@ -500,7 +663,11 @@ func (c *cctx) Self() *model.Machine { return c.leaf }
 func (c *cctx) Moves() []Message     { return c.inbox }
 
 func (c *cctx) Charge(ops float64) {
-	if ops <= 0 || c.eng.TimeUnit <= 0 {
+	if ops <= 0 {
+		return
+	}
+	c.opsAcc += ops
+	if c.eng.TimeUnit <= 0 {
 		return
 	}
 	slow := c.eng.Chaos.Slowdown(c.pid, c.ord)
@@ -513,6 +680,8 @@ func (c *cctx) Charge(ops float64) {
 }
 
 func (c *cctx) Failed() []int { return append([]int(nil), c.failedView...) }
+
+func (c *cctx) Members() []int { return append([]int(nil), c.membersView...) }
 
 func (c *cctx) Save(key string, data []byte) {
 	if c.ckptStage == nil {
@@ -572,14 +741,27 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	c.ord++
 	gen := c.syncSeq[scope]
 	c.syncSeq[scope] = gen + 1
+	// The superstep's charged work is captured here and folded into the
+	// reorg estimate only if the barrier succeeds — a failed sync drops
+	// its work, matching the virtual engine's observe-on-success rule.
+	ops := c.opsAcc
+	c.opsAcc = 0
 
 	// Crash-stop injection: the victim dies at the boundary, losing the
 	// superstep in progress (nothing queued is flushed), and cancels the
 	// barriers of already parked members so they observe the failure.
 	if c.eng.Chaos.CrashNow(c.pid, ord, 0) {
 		c.eng.Obsv.Chaos("crash", ord, c.pid, c.pid, c.nowMicros())
-		c.shared.crashSelf(c.pid, ord)
+		c.shared.crashSelf(c.pid, ord, "crash-stop")
 		return fmt.Errorf("%w (p%d at step %d)", errCrashStop, c.pid, ord)
+	}
+	// Orderly departure rides the crash machinery with a distinct cause:
+	// survivors shrink their barriers exactly as for a crash but read
+	// "leave" in the report, and the victim unwinds with errLeave.
+	if c.eng.Chaos.LeaveNow(c.pid, ord) {
+		c.eng.Obsv.Chaos("leave", ord, c.pid, c.pid, c.nowMicros())
+		c.shared.crashSelf(c.pid, ord, "leave")
+		return fmt.Errorf("%w (p%d at step %d)", errLeave, c.pid, ord)
 	}
 
 	leaves := scope.Leaves()
@@ -604,6 +786,17 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	for i := range c.outbox {
 		m := c.outbox[i]
 		if !inScope[m.dst] {
+			kept = append(kept, m)
+			continue
+		}
+		if c.holdDst(scope.Label(), m.dst) {
+			// Destination not yet reachable at this generation: dormant,
+			// or joined but with its notice still unacknowledged by this
+			// sender — flushing now would tag the message with the
+			// notice-burn generation nobody ever receives. Held messages
+			// flush on the retry sync, landing at the same post-ack step
+			// the virtual engine delivers them. Fate stays unassigned,
+			// as in the virtual engine's hold.
 			kept = append(kept, m)
 			continue
 		}
@@ -680,11 +873,16 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		members: members,
 		barrier: fmt.Sprintf("sync:%s#%d", scope.Label(), gen),
 	}
-	deadPid, info, view, count := c.shared.checkAndEnter(c.pid, wait)
-	if deadPid >= 0 {
-		c.failedView = view
-		return &ErrPeerFailed{Pid: deadPid, Step: info.step, Cause: info.cause}
+	res := c.shared.checkAndEnter(c.pid, wait)
+	if res.deadPid >= 0 {
+		c.failedView = res.deadView
+		return &ErrPeerFailed{Pid: res.deadPid, Step: res.deadInfo.step, Cause: res.deadInfo.cause}
 	}
+	if res.joinPid >= 0 {
+		c.membersView = res.joinView
+		return &ErrPeerJoined{Pid: res.joinPid, Step: res.joinStep}
+	}
+	count := res.count
 	deadline := c.shared.barrierDeadline(c.pid, c.eng.DetectFactor)
 	bEnter := time.Since(c.shared.started)
 	var err error
@@ -815,12 +1013,24 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		sort.SliceStable(c.inbox, func(a, b int) bool { return c.inbox[a].Src < c.inbox[b].Src })
 	}
 
-	// Checkpoint commit at the global cadence, mirroring the virtual
-	// engine's consistent cut: gen+1 completed global supersteps.
-	if scope == c.eng.tree.Root && c.eng.Ckpt != nil && c.eng.CheckpointEvery > 0 &&
-		(gen+1)%c.eng.CheckpointEvery == 0 {
-		c.eng.Ckpt.commit(c.pid, gen+1, c.ckptStage)
-		c.ckptStage = nil
+	// Fold the superstep's measured effective compute slowdown — static
+	// slowdown times the transient straggler factor — into the shared
+	// reorg estimate (observe-on-success; see the ops capture above).
+	if ops > 0 {
+		c.shared.observe(c.pid, c.leaf.CompSlowdown*c.eng.Chaos.Slowdown(c.pid, ord))
+	}
+
+	// Checkpoint commit at the consistent-cut cadence: rootDone counts
+	// this processor's successful global barriers (a joiner starts at
+	// its activation cut), so every live processor commits at the same
+	// cut ordinals even though per-scope generations shift under churn.
+	if scope == c.eng.tree.Root {
+		c.rootDone++
+		if c.eng.Ckpt != nil && c.eng.CheckpointEvery > 0 &&
+			c.rootDone%c.eng.CheckpointEvery == 0 {
+			c.eng.Ckpt.commit(c.pid, c.rootDone, c.ckptStage)
+			c.ckptStage = nil
+		}
 	}
 
 	// The scope coordinator records the step — the fastest live member,
@@ -845,7 +1055,277 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		c.eng.Obsv.Superstep(idx, label, scope.Label(), scope.Level,
 			micros(start), micros(end), 0, int64(sentBytes+recvBytes))
 	}
+
+	// Cut window: when this global barrier's ordinal triggers a reorg
+	// or an activation, every participant parks on a pair of cut
+	// barriers while one applier rebalances the tree and opens joiner
+	// gates. The step record above already read the pre-reorg layout,
+	// so nothing reads the tree while the applier mutates it.
+	if scope == c.eng.tree.Root && c.pendingCut(c.rootDone) {
+		if err := c.cutWindow(members, count); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// pendingCut reports whether the cut at global ordinal R has work: a
+// scheduled reorganization or a dormant processor whose activation
+// point has been reached. Every participant of the barrier computes the
+// same verdict — R is shared, ReorgEvery is config, and the dormant set
+// only changes inside cut windows.
+func (c *cctx) pendingCut(R int) bool {
+	if c.eng.ReorgEvery > 0 && R%c.eng.ReorgEvery == 0 {
+		return true
+	}
+	s := c.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for pid := range s.dormant {
+		if c.eng.Chaos.JoinStep(pid) <= R {
+			return true
+		}
+	}
+	return false
+}
+
+// cutWindow serializes one consistent cut: cut:in waits until every
+// participant has finished its post-barrier reads (deliveries, step
+// record), the smallest live participant applies the cut, and cut:out
+// holds everyone until the tree is stable again.
+func (c *cctx) cutWindow(members []int, count int) error {
+	R := c.rootDone
+	if err := c.task.BarrierTimeout(fmt.Sprintf("cut:in#%d", R), count, 0); err != nil {
+		return c.cutErr(err)
+	}
+	var applyErr error
+	if c.shared.applierPid(members) == c.pid {
+		applyErr = c.applyCut(R)
+	}
+	if err := c.task.BarrierTimeout(fmt.Sprintf("cut:out#%d", R), count, 0); err != nil {
+		return c.cutErr(err)
+	}
+	// Re-align this processor's per-scope sync generations with the
+	// cut's snapshot: a rebalance can move the leaf under a scope it has
+	// never synced on, where peers already burned generations. The
+	// snapshot — not the live registry — is what keeps this safe: fast
+	// members leaving the window burn new generations concurrently, and
+	// reading those here would push this processor's next barrier past
+	// its peers'. Scope generations advance in lockstep across a scope's
+	// members, so for scopes this processor already synced the
+	// assignment is a no-op.
+	s := c.shared
+	s.mu.Lock()
+	snap := s.cutGens
+	c.eng.tree.Root.Walk(func(m *model.Machine) {
+		if g := snap[m.Label()]; g > 0 && g > c.syncSeq[m] {
+			c.syncSeq[m] = g
+		}
+	})
+	s.mu.Unlock()
+	return applyErr
+}
+
+// cutErr converts a watchdog halt during a cut barrier into the
+// structured desync report, like the main barrier path.
+func (c *cctx) cutErr(err error) error {
+	if errors.Is(err, pvm.ErrHalted) {
+		if derr := c.shared.desyncErr(); derr != nil {
+			return derr
+		}
+	}
+	return err
+}
+
+// applierPid picks the cut's single applier: the smallest live,
+// non-dormant participant. Every participant computes the same answer —
+// the dead set cannot grow while all scope members are inside the cut
+// window (crashes fire only at Sync entry).
+func (s *crun) applierPid(members []int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := -1
+	for _, m := range members {
+		if s.dormant[m] || s.dead[m] != nil {
+			continue
+		}
+		if best < 0 || m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+// applyCut is the applier side of the cut window: rebalance the tree
+// from the shared estimates, then activate every dormant processor
+// whose join point has been reached. Reorg strictly precedes activation
+// — an opened gate's task starts reading the tree immediately.
+func (c *cctx) applyCut(R int) error {
+	e, s := c.eng, c.shared
+	if e.ReorgEvery > 0 && R%e.ReorgEvery == 0 {
+		s.mu.Lock()
+		// Crash victims and leavers unwind with their error and may still
+		// be running user code that reads the tree (a fault-tolerant
+		// session walks scope leaves to report its live view). Wait them
+		// out before rebalancing: every live member is parked inside the
+		// cut window, a dead requester's re-sync resolves immediately
+		// under mu, and its deferred markExited signals exitc.
+		for s.deadUnwindingLocked() {
+			s.exitc.Wait()
+		}
+		s.epoch++
+		epoch := s.epoch
+		est := s.rer.Estimates()
+		s.mu.Unlock()
+		plan := model.PlanReorg(e.tree, est, e.ReorgSeed, epoch)
+		if err := e.tree.Reorganize(plan); err != nil {
+			return err
+		}
+		e.Obsv.Reorg(epoch, plan.Moved, c.nowMicros())
+		// A rebalance can move a leaf under a scope whose members
+		// acknowledged a death or join it only saw elsewhere. Equalize the
+		// per-scope ack sets across the live processors so a moved-in
+		// member computes the same dead tag and burns the same notice
+		// generations as its new peers (the virtual engine equalizes at
+		// the same point).
+		s.mu.Lock()
+		s.equalizeAcksLocked(s.acked)
+		s.equalizeAcksLocked(s.ackedJoin)
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	// Snapshot the generation registry while every live processor is
+	// parked inside the cut window: members re-align their per-scope
+	// generations against this stable copy after cut:out, and joiners
+	// seed theirs from it.
+	cutGens := make(map[string]int, len(s.gens))
+	for k, v := range s.gens {
+		cutGens[k] = v
+	}
+	s.cutGens = cutGens
+	var act []int
+	for pid := range s.dormant {
+		if e.Chaos.JoinStep(pid) <= R {
+			act = append(act, pid)
+		}
+	}
+	sort.Ints(act)
+	var gates []chan struct{}
+	for _, pid := range act {
+		delete(s.dormant, pid)
+	}
+	for _, pid := range act {
+		s.joined[pid] = R
+		ka := make(map[int]bool, s.nprocs)
+		for q := 0; q < s.nprocs; q++ {
+			if !s.dormant[q] {
+				ka[q] = true
+			}
+		}
+		s.knownActive[pid] = ka
+		s.seedAcksLocked(e.tree, pid, R)
+		snap := make(map[string]int, len(s.gens))
+		for k, v := range s.gens {
+			snap[k] = v
+		}
+		s.joinGens[pid] = snap
+		gates = append(gates, s.gates[pid])
+	}
+	s.mu.Unlock()
+	for i, pid := range act {
+		e.Obsv.Chaos("join", R, pid, pid, c.nowMicros())
+		close(gates[i])
+	}
+	return nil
+}
+
+// equalizeAcksLocked unions the per-scope-label acknowledgment sets
+// (dead or joined) of every live, non-dormant processor and writes the
+// union back to each. Called with mu held, from the cut applier while
+// every live processor is parked inside the cut window.
+func (s *crun) equalizeAcksLocked(sets map[int]map[string]map[int]bool) {
+	union := make(map[string]map[int]bool)
+	live := func(pid int) bool { return !s.dormant[pid] && s.dead[pid] == nil }
+	for pid, perScope := range sets {
+		if !live(pid) {
+			continue
+		}
+		for label, set := range perScope {
+			u := union[label]
+			if u == nil {
+				u = make(map[int]bool, len(set))
+				union[label] = u
+			}
+			for q := range set {
+				u[q] = true
+			}
+		}
+	}
+	for pid := 0; pid < s.nprocs; pid++ {
+		if !live(pid) {
+			continue
+		}
+		for label, u := range union {
+			if sets[pid] == nil {
+				sets[pid] = make(map[string]map[int]bool)
+			}
+			cp := sets[pid][label]
+			if cp == nil {
+				cp = make(map[int]bool, len(u))
+				sets[pid][label] = cp
+			}
+			for q := range u {
+				cp[q] = true
+			}
+		}
+	}
+}
+
+// seedAcksLocked copies, per scope, a live old member's acknowledged
+// dead and joined sets onto a newcomer — the concurrent mirror of the
+// virtual engine's seedAcks. The failure protocol keeps those sets
+// identical across live members of a scope at a global cut, so the
+// newcomer will burn exactly the pending notice generations the old
+// members still owe, keeping per-scope sync generations aligned. Caller
+// holds mu.
+func (s *crun) seedAcksLocked(t *model.Tree, pid, cut int) {
+	t.Root.Walk(func(scope *model.Machine) {
+		label := scope.Label()
+		donor := -1
+		for _, l := range scope.Leaves() {
+			lp := t.Pid(l)
+			if lp == pid || s.dormant[lp] || s.dead[lp] != nil || s.joined[lp] == cut {
+				continue
+			}
+			if donor < 0 || lp < donor {
+				donor = lp
+			}
+		}
+		if donor < 0 {
+			return
+		}
+		if deadSet := s.acked[donor][label]; len(deadSet) > 0 {
+			if s.acked[pid] == nil {
+				s.acked[pid] = make(map[string]map[int]bool)
+			}
+			cp := make(map[int]bool, len(deadSet))
+			for d := range deadSet {
+				cp[d] = true
+			}
+			s.acked[pid][label] = cp
+		}
+		if joinSet := s.ackedJoin[donor][label]; len(joinSet) > 0 {
+			if s.ackedJoin[pid] == nil {
+				s.ackedJoin[pid] = make(map[string]map[int]bool)
+			}
+			cp := make(map[int]bool, len(joinSet))
+			for j := range joinSet {
+				cp[j] = true
+			}
+			s.ackedJoin[pid][label] = cp
+		}
+	})
 }
 
 // micros converts an engine-relative duration to the microsecond time
@@ -862,18 +1342,56 @@ func (c *cctx) deadPid(pid int) bool {
 	return c.shared.dead[pid] != nil
 }
 
+// dormantPid reports whether pid awaits its activation cut. Messages to
+// a dormant destination are held in the sender's outbox until the first
+// shared superstep after activation — the virtual engine holds them in
+// its undelivered pool the same way.
+func (c *cctx) dormantPid(pid int) bool {
+	c.shared.mu.Lock()
+	defer c.shared.mu.Unlock()
+	return c.shared.dormant[pid]
+}
+
+// holdDst reports whether a message to dst must stay queued at a flush
+// on the given scope: dst is dormant, or dst joined at a cut whose
+// notice this sender has not yet consumed on the scope. In the latter
+// case the current sync is about to burn the join-notice generation, so
+// a flush now would wire-tag the message with a generation no receiver
+// ever drains; the retry sync flushes it one generation later, where
+// the whole scope — newcomer included — receives.
+func (c *cctx) holdDst(scope string, dst int) bool {
+	s := c.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dormant[dst] {
+		return true
+	}
+	if _, joined := s.joined[dst]; joined && !s.ackedJoin[c.pid][scope][dst] {
+		return true
+	}
+	return false
+}
+
 // liveCoordinator is the scope coordinator restricted to leaves this
-// processor does not know to be dead: coordinator failover.
+// processor knows to be active members and not dead: coordinator
+// failover, plus exclusion of dormant (not-yet-joined) leaves. Both
+// views are generation-aligned across a scope's live members by the
+// notice protocols, so exactly one participant claims the role.
 func (c *cctx) liveCoordinator(scope *model.Machine) *model.Machine {
-	if len(c.failedView) == 0 {
+	if len(c.failedView) == 0 && len(c.membersView) == c.NProcs() {
 		return scope.Coordinator()
 	}
 	dead := make(map[int]bool, len(c.failedView))
 	for _, pid := range c.failedView {
 		dead[pid] = true
 	}
+	active := make(map[int]bool, len(c.membersView))
+	for _, pid := range c.membersView {
+		active[pid] = true
+	}
 	return scope.CoordinatorAmong(func(m *model.Machine) bool {
-		return !dead[c.eng.tree.Pid(m)]
+		pid := c.eng.tree.Pid(m)
+		return active[pid] && !dead[pid]
 	})
 }
 
@@ -895,6 +1413,38 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 		dead:        make(map[int]*failInfo),
 		acked:       make(map[int]map[string]map[int]bool),
 		detectCount: make(map[int]int),
+		dormant:     make(map[int]bool),
+		joined:      make(map[int]int),
+		ackedJoin:   make(map[int]map[string]map[int]bool),
+		knownActive: make(map[int]map[int]bool),
+		gens:        make(map[string]int),
+		joinGens:    make(map[int]map[string]int),
+		gates:       make(map[int]chan struct{}),
+		rer:         model.NewReranker(p, e.ReorgAlpha),
+	}
+	shared.exitc = sync.NewCond(&shared.mu)
+	// Elastic membership: processors with a churn JoinAt fate start
+	// dormant behind a gate; their pre-spawned tasks idle until the
+	// applier of their activation cut closes the gate (or until the run
+	// ends without reaching it).
+	for pid := 0; pid < p; pid++ {
+		if e.Chaos.JoinStep(pid) > 0 {
+			shared.dormant[pid] = true
+			shared.gates[pid] = make(chan struct{})
+		}
+	}
+	actives := make([]int, 0, p)
+	for pid := 0; pid < p; pid++ {
+		if !shared.dormant[pid] {
+			actives = append(actives, pid)
+		}
+	}
+	for _, pid := range actives {
+		ka := make(map[int]bool, len(actives))
+		for _, q := range actives {
+			ka[q] = true
+		}
+		shared.knownActive[pid] = ka
 	}
 
 	timeout := e.DesyncTimeout
@@ -911,11 +1461,26 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 	ready := make(chan struct{})
 	for pid := 0; pid < p; pid++ {
 		pid := pid
+		gate := shared.gates[pid]
 		tids[pid] = sys.Spawn(fmt.Sprintf("proc%d", pid), func(t *pvm.Task) error {
 			// markExited runs even on panic, so a crashed processor still
 			// triggers the deterministic exited-member desync check.
 			defer shared.markExited(pid)
-			<-ready
+			if gate != nil {
+				// Dormant until the activation cut's applier closes the
+				// gate. A gate closed by the last exiting active task
+				// instead (no cut reached the join point) leaves no
+				// joined record: the program never runs on this pid.
+				<-gate
+				shared.mu.Lock()
+				_, activated := shared.joined[pid]
+				shared.mu.Unlock()
+				if !activated {
+					return nil
+				}
+			} else {
+				<-ready
+			}
 			c := &cctx{
 				pid:     pid,
 				leaf:    e.tree.Leaf(pid),
@@ -925,14 +1490,42 @@ func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 				syncSeq: make(map[*model.Machine]int),
 				shared:  shared,
 			}
+			if gate != nil {
+				// A newcomer's state starts at the activation cut: its
+				// per-scope sync generations at the snapshot the applier
+				// took, its membership and failure views as seeded, and
+				// its cut ordinal at the activation point. The tree is
+				// stable here — every old member is parked at cut:out
+				// until the applier (which closed this gate last) exits
+				// the window.
+				shared.mu.Lock()
+				c.rootDone = shared.joined[pid]
+				c.membersView = sortedPids(shared.knownActive[pid])
+				union := make(map[int]bool)
+				for _, perScope := range shared.acked[pid] {
+					for dp := range perScope {
+						union[dp] = true
+					}
+				}
+				c.failedView = sortedPids(union)
+				snap := shared.joinGens[pid]
+				shared.mu.Unlock()
+				e.tree.Root.Walk(func(m *model.Machine) {
+					if g := snap[m.Label()]; g > 0 {
+						c.syncSeq[m] = g
+					}
+				})
+			} else {
+				c.membersView = append([]int(nil), actives...)
+			}
 			if e.Verify {
 				c.vc = newVClock(p)
 			}
 			err := prog(c)
-			if errors.Is(err, errCrashStop) {
-				// The victim's own crash is the experiment, not a
-				// program failure; the run's verdict belongs to the
-				// survivors.
+			if errors.Is(err, errCrashStop) || errors.Is(err, errLeave) {
+				// The victim's own crash or departure is the experiment,
+				// not a program failure; the run's verdict belongs to
+				// the survivors.
 				return nil
 			}
 			return err

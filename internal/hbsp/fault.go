@@ -40,6 +40,27 @@ func (e *ErrPeerFailed) Error() string {
 	return fmt.Sprintf("hbsp: peer p%d failed at step %d (%s)", e.Pid, e.Step, e.Cause)
 }
 
+// ErrPeerJoined reports elastic membership growth: a processor
+// activated at the last membership cut is now part of the sync scope.
+// Every member of the scope — including the newcomer itself — observes
+// the join as this error at the same per-scope sync generation, exactly
+// once per join event, which is what keeps barrier generations aligned
+// across old and new members without any renumbering. Programs treat it
+// like ErrPeerFailed's dual: refresh the membership view (Ctx.Members)
+// and retry the Sync.
+type ErrPeerJoined struct {
+	// Pid is the joined processor (the smallest one when several
+	// activated at the same cut; the whole batch is acknowledged at
+	// once).
+	Pid int
+	// Step is the completed-global-barrier count at which it activated.
+	Step int
+}
+
+func (e *ErrPeerJoined) Error() string {
+	return fmt.Sprintf("hbsp: peer p%d joined at global step %d", e.Pid, e.Step)
+}
+
 // ErrTimeout is the detection-deadline error, shared with the pvm
 // substrate so errors.Is matches across layers.
 var ErrTimeout = pvm.ErrTimeout
@@ -52,6 +73,15 @@ var errCrashStop = errors.New("hbsp: processor crash-stopped by chaos plan")
 
 // IsCrashStop reports whether err is the victim-side crash-stop error.
 func IsCrashStop(err error) bool { return errors.Is(err, errCrashStop) }
+
+// errLeave is the victim side of an orderly departure (a churn fate's
+// LeaveAt): the leaver's program unwinds with it and the engines filter
+// it from the run verdict, exactly like errCrashStop. Survivors see the
+// departure as ErrPeerFailed with Cause "leave".
+var errLeave = errors.New("hbsp: processor left by churn plan")
+
+// IsLeave reports whether err is the victim-side orderly-leave error.
+func IsLeave(err error) bool { return errors.Is(err, errLeave) }
 
 // defaultDetectFactor scales the predicted step cost into a detection
 // deadline when the engine's DetectFactor is unset.

@@ -72,6 +72,15 @@ type Ctx interface {
 	// at the same sync generation.
 	Failed() []int
 
+	// Members returns the pids this processor knows to be active
+	// (activated at or before the run's start, or joined at a
+	// membership cut), in ascending order. The set grows exactly when a
+	// Sync returns ErrPeerJoined — mirroring Failed — so all live
+	// members of a scope share the same view at the same sync
+	// generation. Departed processors stay in Members and appear in
+	// Failed; the live set is Members minus Failed.
+	Members() []int
+
 	// Save stages a checkpoint of named per-processor state. Staged
 	// state is committed to the engine's CheckpointStore at the next
 	// checkpointed superstep boundary (see CheckpointEvery); without a

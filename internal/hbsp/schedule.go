@@ -236,7 +236,13 @@ func (v *Virtual) RunSchedules(prog Program, n int, seed int64) (*ScheduleSet, e
 	}
 	set := &ScheduleSet{Seed: seed}
 	p := v.tree.NProcs()
+	// A run with reorganization enabled mutates the tree's layout; every
+	// replay must start from the pristine one or later permutations
+	// would explore a different machine. The layout is restored again
+	// after the last replay so the caller's tree is untouched.
+	layout := v.tree.SaveLayout()
 	for perm := 0; perm < n; perm++ {
+		v.tree.RestoreLayout(layout)
 		v.permIndex = perm
 		v.permSeed = seed
 		v.rec = newRunRecord(p)
@@ -246,6 +252,7 @@ func (v *Virtual) RunSchedules(prog Program, n int, seed int64) (*ScheduleSet, e
 		v.permIndex, v.permSeed, v.rec = 0, 0, nil
 		set.Runs = append(set.Runs, run)
 	}
+	v.tree.RestoreLayout(layout)
 	return set, nil
 }
 

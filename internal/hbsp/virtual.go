@@ -64,6 +64,20 @@ type Virtual struct {
 	// typed *ErrNondeterminism. Stamping is charged zero cost.
 	Verify bool
 
+	// ReorgEvery, when positive, rebalances the machine tree at every
+	// ReorgEvery-th completed global superstep (DESIGN.md §5.7): the
+	// engine folds each processor's measured effective compute slowdown
+	// into an EWMA estimate and, at the cut, applies the seeded
+	// model.PlanReorg — leaves permuted across slots, shares re-derived
+	// — in place. The tree is mutated; use Tree.SaveLayout/RestoreLayout
+	// (RunSchedules does) to replay from the pristine layout. ReorgSeed
+	// drives the plan's tie-breaking; equal seeds give equal schedules.
+	ReorgEvery int
+	ReorgSeed  int64
+	// ReorgAlpha overrides the estimate EWMA smoothing factor (0 means
+	// model.DefaultAlpha).
+	ReorgAlpha float64
+
 	// inboxes stages delivered messages per pid between the engine's
 	// completeStep and the owning processor's pickup after resume; the
 	// resume channel orders the handoff. inmetas carries the parallel
@@ -168,8 +182,11 @@ type vctx struct {
 	clock float64
 
 	// failedView is the dead-pid set this processor has acknowledged,
-	// staged by the engine before each resume.
-	failedView []int
+	// staged by the engine before each resume; membersView is likewise
+	// the active-pid set it knows (its starting membership plus every
+	// acknowledged join).
+	failedView  []int
+	membersView []int
 	// ckptStage holds Save()d state until the next Sync ships it.
 	ckptStage map[string][]byte
 
@@ -193,6 +210,8 @@ func (c *vctx) Charge(ops float64) {
 }
 
 func (c *vctx) Failed() []int { return append([]int(nil), c.failedView...) }
+
+func (c *vctx) Members() []int { return append([]int(nil), c.membersView...) }
 
 func (c *vctx) Save(key string, data []byte) {
 	if c.ckptStage == nil {
@@ -287,7 +306,16 @@ func (v *Virtual) Run(prog Program) (*trace.Report, error) {
 			ctxs[pid].vc = newVClock(p)
 		}
 	}
+	// Elastic membership: processors with a churn JoinAt fate start
+	// dormant and are activated — their goroutine spawned — at the
+	// membership cut after that many completed global supersteps.
+	dormant := make(map[int]bool)
 	for pid := 0; pid < p; pid++ {
+		if v.Chaos.JoinStep(pid) > 0 {
+			dormant[pid] = true
+		}
+	}
+	spawn := func(pid int) {
 		go func(c *vctx) {
 			var err error
 			defer func() {
@@ -303,7 +331,21 @@ func (v *Virtual) Run(prog Program) (*trace.Report, error) {
 			err = prog(c)
 		}(ctxs[pid])
 	}
-	return v.coordinate(reqs, ctxs)
+	actives := make([]int, 0, p)
+	for pid := 0; pid < p; pid++ {
+		if !dormant[pid] {
+			actives = append(actives, pid)
+		}
+	}
+	for pid := 0; pid < p; pid++ {
+		if !dormant[pid] {
+			ctxs[pid].membersView = actives
+		}
+	}
+	for _, pid := range actives {
+		spawn(pid)
+	}
+	return v.coordinate(reqs, ctxs, dormant, spawn, len(actives))
 }
 
 // engine-side run state (recreated per Run; Virtual is not reusable
@@ -332,6 +374,32 @@ type runState struct {
 	staged      []map[string][]byte
 	globalSteps int
 
+	// Elastic-membership state: dormant pids await their activation
+	// cut; joined records activated latecomers (pid -> activation cut)
+	// pending acknowledgment; ackedJoin[pid][scope] is the joined set
+	// pid has acknowledged on that scope (per scope, mirroring acked:
+	// the join notice burns one sync generation on every scope
+	// containing the newcomer, for every member including the newcomer
+	// itself); knownActive[pid] is pid's membership view.
+	dormant     map[int]bool
+	joined      map[int]int
+	ackedJoin   []map[*model.Machine]map[int]bool
+	knownActive []map[int]bool
+	spawn       func(pid int)
+
+	// Reorganization state: rer folds measured per-step effective
+	// compute slowdowns; epoch counts applied reorganizations. reqs is
+	// the coordinator's request channel, threaded here so a reorg cut
+	// can drain the exit requests of still-unwinding dead processors
+	// before mutating the tree (quiesceDead).
+	rer   *model.Reranker
+	epoch int
+	reqs  chan *vrequest
+
+	// running counts live goroutines; activation at a membership cut
+	// increments it.
+	running int
+
 	// stepSum/stepN track each processor's mean completed step time,
 	// the cost model's prediction base for detection deadlines. Per
 	// processor, not global: a pid's step sequence is its program
@@ -339,6 +407,48 @@ type runState struct {
 	// scopes complete in scheduler-dependent order.
 	stepSum []float64
 	stepN   []int
+}
+
+// equalizeAcks unions the per-scope acknowledgment sets (dead or
+// joined) of every processor the skip predicate admits, then writes the
+// union back to each of them. Called at a reorganization cut, where
+// every live processor is parked: knowledge acquired on one scope
+// travels with a leaf that a rebalance moves under another.
+func equalizeAcks(sets []map[*model.Machine]map[int]bool, skip func(pid int) bool) {
+	union := make(map[*model.Machine]map[int]bool)
+	for pid := range sets {
+		if skip(pid) {
+			continue
+		}
+		for scope, set := range sets[pid] {
+			u := union[scope]
+			if u == nil {
+				u = make(map[int]bool, len(set))
+				union[scope] = u
+			}
+			for q := range set {
+				u[q] = true
+			}
+		}
+	}
+	for pid := range sets {
+		if skip(pid) {
+			continue
+		}
+		for scope, u := range union {
+			if sets[pid] == nil {
+				sets[pid] = make(map[*model.Machine]map[int]bool)
+			}
+			cp := sets[pid][scope]
+			if cp == nil {
+				cp = make(map[int]bool, len(u))
+				sets[pid][scope] = cp
+			}
+			for q := range u {
+				cp[q] = true
+			}
+		}
+	}
 }
 
 // recycleSpent reclaims a resumed processor's donated inbox slice for
@@ -365,7 +475,7 @@ func (v *Virtual) takeInbox(pid int) ([]Message, []msgMeta) {
 	return in, meta
 }
 
-func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, error) {
+func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx, dormant map[int]bool, spawn func(int), active int) (*trace.Report, error) {
 	p := v.tree.NProcs()
 	st := &runState{
 		pending:     make([]*vrequest, p),
@@ -378,19 +488,31 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 		staged:      make([]map[string][]byte, p),
 		stepSum:     make([]float64, p),
 		stepN:       make([]int, p),
+		dormant:     dormant,
+		joined:      make(map[int]int),
+		ackedJoin:   make([]map[*model.Machine]map[int]bool, p),
+		knownActive: make([]map[int]bool, p),
+		spawn:       spawn,
+		rer:         model.NewReranker(p, v.ReorgAlpha),
+		reqs:        reqs,
 	}
-	running := p
-	for running > 0 {
+	for pid := 0; pid < p; pid++ {
+		if dormant[pid] {
+			continue
+		}
+		st.knownActive[pid] = make(map[int]bool, active)
+		for q := 0; q < p; q++ {
+			if !dormant[q] {
+				st.knownActive[pid][q] = true
+			}
+		}
+	}
+	st.running = active
+	for st.running > 0 {
 		req := <-reqs
 		switch req.kind {
 		case 'd':
-			st.done[req.pid] = true
-			st.clocks[req.pid] += req.work
-			v.stageSaves(st, req.pid, req.saves)
-			running--
-			if req.err != nil && st.firstErr == nil && !errors.Is(req.err, errCrashStop) {
-				st.firstErr = req.err
-			}
+			v.handleDone(st, req)
 		case 's':
 			v.handleSync(st, ctxs, req)
 		}
@@ -400,7 +522,7 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 		}
 		// Deadlock / desync detection: every live processor is blocked
 		// in a sync and nothing released.
-		if st.firstErr == nil && v.stuck(st, running) {
+		if st.firstErr == nil && v.stuck(st, st.running) {
 			st.firstErr = v.desyncError(st)
 			for pid, r := range st.pending {
 				if r != nil {
@@ -429,6 +551,50 @@ func (v *Virtual) coordinate(reqs chan *vrequest, ctxs []*vctx) (*trace.Report, 
 	return rep, st.firstErr
 }
 
+// handleDone records one processor goroutine's exit: its program
+// returned (normally, with an error, or unwinding a crash/leave).
+func (v *Virtual) handleDone(st *runState, req *vrequest) {
+	st.done[req.pid] = true
+	st.clocks[req.pid] += req.work
+	v.stageSaves(st, req.pid, req.saves)
+	st.running--
+	if req.err != nil && st.firstErr == nil &&
+		!errors.Is(req.err, errCrashStop) && !errors.Is(req.err, errLeave) {
+		st.firstErr = req.err
+	}
+}
+
+// quiesceDead blocks until every dead processor's goroutine has exited,
+// draining its remaining requests meanwhile. A crash victim is resumed
+// with its error and then unwinds user code — code that may read the
+// tree (fault-tolerant collectives walk scope leaves to report their
+// live view) — so the coordinator must not rebalance the tree while a
+// corpse is still running. Safe to block here: at a completed global
+// barrier every live processor is parked, so the only goroutines able
+// to send requests are the unwinding dead, and their syncs resolve
+// immediately (a dead requester never parks).
+func (v *Virtual) quiesceDead(st *runState, ctxs []*vctx) {
+	for {
+		unwinding := false
+		for pid := range st.dead {
+			if !st.done[pid] {
+				unwinding = true
+				break
+			}
+		}
+		if !unwinding {
+			return
+		}
+		req := <-st.reqs
+		switch req.kind {
+		case 'd':
+			v.handleDone(st, req)
+		case 's':
+			v.handleSync(st, ctxs, req)
+		}
+	}
+}
+
 // handleSync stamps, fault-checks and (if clean) parks one sync
 // request. Three fault paths short-circuit the parking: the requester is
 // already dead, the requester crash-stops now, or the requested scope
@@ -448,14 +614,65 @@ func (v *Virtual) handleSync(st *runState, ctxs []*vctx, req *vrequest) {
 		return
 	}
 	if v.Chaos.CrashNow(pid, req.ord, st.clocks[pid]) {
-		v.crash(st, ctxs, pid, req)
+		v.crash(st, ctxs, pid, req, "crash-stop")
+		return
+	}
+	if v.Chaos.LeaveNow(pid, req.ord) {
+		v.crash(st, ctxs, pid, req, "leave")
 		return
 	}
 	if firstDead, ok := v.unackedDead(st, pid, req.scope); ok {
 		v.failSync(st, ctxs, pid, req.scope, firstDead, req)
 		return
 	}
+	if firstJoin, ok := v.unackedJoin(st, pid, req.scope); ok {
+		v.joinSync(st, ctxs, pid, req.scope, firstJoin, req)
+		return
+	}
 	st.pending[pid] = req
+}
+
+// unackedJoin returns the smallest joined (activated-latecomer) pid in
+// scope the given processor has not acknowledged, if any. The requester
+// itself counts: a newcomer burns the same notice generation as
+// everyone else, which is what keeps per-scope generations aligned.
+func (v *Virtual) unackedJoin(st *runState, pid int, scope *model.Machine) (int, bool) {
+	if len(st.joined) == 0 {
+		return 0, false
+	}
+	first, found := -1, false
+	for _, l := range scope.Leaves() {
+		lp := v.tree.Pid(l)
+		if _, ok := st.joined[lp]; ok && !st.ackedJoin[pid][scope][lp] {
+			if !found || lp < first {
+				first, found = lp, true
+			}
+		}
+	}
+	return first, found
+}
+
+// joinSync delivers ErrPeerJoined for one sync attempt: it acknowledges
+// every joined member of the scope for the requester, stages its
+// updated membership view, and resumes it with the typed error. Unlike
+// failSync there is no detection charge — a join is planned at the cut,
+// not detected by a deadline.
+func (v *Virtual) joinSync(st *runState, ctxs []*vctx, pid int, scope *model.Machine, firstJoin int, req *vrequest) {
+	if st.ackedJoin[pid] == nil {
+		st.ackedJoin[pid] = make(map[*model.Machine]map[int]bool)
+	}
+	if st.ackedJoin[pid][scope] == nil {
+		st.ackedJoin[pid][scope] = make(map[int]bool)
+	}
+	for _, l := range scope.Leaves() {
+		lp := v.tree.Pid(l)
+		if _, ok := st.joined[lp]; ok {
+			st.ackedJoin[pid][scope][lp] = true
+			st.knownActive[pid][lp] = true
+		}
+	}
+	ctxs[pid].membersView = sortedPids(st.knownActive[pid])
+	req.resume <- &ErrPeerJoined{Pid: firstJoin, Step: st.joined[firstJoin]}
 }
 
 // stageSaves folds one processor's Save()d state into the run's staging
@@ -478,11 +695,20 @@ func (v *Virtual) stageSaves(st *runState, pid int, saves map[string][]byte) {
 
 // crash marks the requester dead, discards its outbox (crash-stop loses
 // the superstep in progress), purges messages addressed to it, and
-// notifies every parked survivor whose scope contains it.
-func (v *Virtual) crash(st *runState, ctxs []*vctx, pid int, req *vrequest) {
-	v.Obsv.Chaos("crash", req.ord, pid, pid, st.clocks[pid])
-	st.dead[pid] = &failInfo{step: req.ord, cause: "crash-stop"}
-	req.resume <- fmt.Errorf("%w (p%d at step %d)", errCrashStop, pid, req.ord)
+// notifies every parked survivor whose scope contains it. An orderly
+// leave (cause "leave") rides the same machinery: the departure is
+// announced at the boundary and survivors shrink their barriers exactly
+// as for a crash, but the victim unwinds with errLeave and the cause
+// distinguishes churn from failure in every report.
+func (v *Virtual) crash(st *runState, ctxs []*vctx, pid int, req *vrequest, cause string) {
+	victimErr := errCrashStop
+	fate := "crash"
+	if cause == "leave" {
+		victimErr, fate = errLeave, "leave"
+	}
+	v.Obsv.Chaos(fate, req.ord, pid, pid, st.clocks[pid])
+	st.dead[pid] = &failInfo{step: req.ord, cause: cause}
+	req.resume <- fmt.Errorf("%w (p%d at step %d)", victimErr, pid, req.ord)
 
 	rest := st.undelivered[:0]
 	for _, m := range st.undelivered {
@@ -557,6 +783,100 @@ func (v *Virtual) failSync(st *runState, ctxs []*vctx, pid int, scope *model.Mac
 	ctxs[pid].failedView = sortedPids(union)
 	info := st.dead[firstDead]
 	req.resume <- &ErrPeerFailed{Pid: firstDead, Step: info.step, Cause: info.cause}
+}
+
+// membershipCut activates every dormant processor whose JoinAt point
+// has been reached: its clock starts at the cut's virtual time, its
+// membership and failure views are seeded, and its goroutine spawns.
+// From the next sync on, every member of every scope containing it —
+// the newcomer included — burns one notice generation (ErrPeerJoined)
+// per scope, which re-aligns barrier generations without renumbering.
+func (v *Virtual) membershipCut(st *runState, ctxs []*vctx, now float64) {
+	if len(st.dormant) == 0 {
+		return
+	}
+	var act []int
+	for pid := range st.dormant {
+		if v.Chaos.JoinStep(pid) <= st.globalSteps {
+			act = append(act, pid)
+		}
+	}
+	if len(act) == 0 {
+		return
+	}
+	sort.Ints(act)
+	for _, pid := range act {
+		delete(st.dormant, pid)
+	}
+	for _, pid := range act {
+		st.joined[pid] = st.globalSteps
+		ka := make(map[int]bool, len(ctxs))
+		for q := range ctxs {
+			if !st.dormant[q] {
+				ka[q] = true
+			}
+		}
+		st.knownActive[pid] = ka
+		ctxs[pid].membersView = sortedPids(ka)
+		st.clocks[pid] = now
+		ctxs[pid].clock = now
+		v.seedAcks(st, ctxs, pid)
+		v.Obsv.Chaos("join", st.globalSteps, pid, pid, now)
+		st.spawn(pid)
+		st.running++
+	}
+}
+
+// seedAcks copies, per scope, a live old member's acknowledged dead and
+// joined sets onto a newcomer. The failure protocol keeps those sets
+// identical across all live members of a scope at a global cut, so the
+// newcomer inherits exactly the pending notices the old members still
+// owe — it will burn the same notice generations they will, keeping
+// per-scope sync generations aligned. Scopes with no live old member
+// need no seeding: the newcomer's notices there race nobody.
+func (v *Virtual) seedAcks(st *runState, ctxs []*vctx, pid int) {
+	v.tree.Root.Walk(func(scope *model.Machine) {
+		donor := -1
+		for _, l := range scope.Leaves() {
+			lp := v.tree.Pid(l)
+			if lp == pid || st.dormant[lp] || st.dead[lp] != nil || st.joined[lp] == st.globalSteps {
+				continue
+			}
+			if donor < 0 || lp < donor {
+				donor = lp
+			}
+		}
+		if donor < 0 {
+			return
+		}
+		if deadSet := st.acked[donor][scope]; len(deadSet) > 0 {
+			if st.acked[pid] == nil {
+				st.acked[pid] = make(map[*model.Machine]map[int]bool)
+			}
+			cp := make(map[int]bool, len(deadSet))
+			for d := range deadSet {
+				cp[d] = true
+			}
+			st.acked[pid][scope] = cp
+		}
+		if joinSet := st.ackedJoin[donor][scope]; len(joinSet) > 0 {
+			if st.ackedJoin[pid] == nil {
+				st.ackedJoin[pid] = make(map[*model.Machine]map[int]bool)
+			}
+			cp := make(map[int]bool, len(joinSet))
+			for j := range joinSet {
+				cp[j] = true
+			}
+			st.ackedJoin[pid][scope] = cp
+		}
+	})
+	union := make(map[int]bool)
+	for _, perScope := range st.acked[pid] {
+		for dp := range perScope {
+			union[dp] = true
+		}
+	}
+	ctxs[pid].failedView = sortedPids(union)
 }
 
 // detectCharge is the failure-detection deadline on the virtual clock:
@@ -636,7 +956,7 @@ func (v *Virtual) release(st *runState, ctxs []*vctx) {
 		live := 0
 		for _, l := range leaves {
 			lp := v.tree.Pid(l)
-			if st.dead[lp] != nil {
+			if st.dead[lp] != nil || st.dormant[lp] {
 				continue
 			}
 			live++
@@ -659,7 +979,7 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 	for _, l := range leaves {
 		lp := v.tree.Pid(l)
 		inScope[lp] = true
-		if st.dead[lp] == nil {
+		if st.dead[lp] == nil && !st.dormant[lp] {
 			pids = append(pids, lp)
 		}
 	}
@@ -679,6 +999,15 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 			v.Obsv.Chaos("straggler", len(st.steps), pid, pid, st.clocks[pid])
 		}
 		works[pid] = r.work * slow
+		if r.work > 0 {
+			// Measured effective compute slowdown for the step: the
+			// static slowdown times the transient straggler factor, the
+			// reorganization subsystem's EWMA sample. Only observed on
+			// the success path (a failed sync's work is dropped), which
+			// is the same rule the concurrent engine applies — equal
+			// seeds produce equal estimate streams on both engines.
+			st.rer.Observe(pid, ctxs[pid].leaf.CompSlowdown*slow)
+		}
 		if label == "" {
 			label = r.label
 		}
@@ -702,6 +1031,10 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 	for _, m := range st.undelivered {
 		if !inScope[m.src] || !inScope[m.dst] {
 			rest = append(rest, m)
+			continue
+		}
+		if st.dormant[m.dst] {
+			rest = append(rest, m) // not yet joined: hold until activation
 			continue
 		}
 		if st.dead[m.dst] != nil {
@@ -838,6 +1171,39 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 				}
 			}
 		}
+		// The completed global barrier is the run's consistent cut: all
+		// live processors are parked right here, so the tree can be
+		// rebalanced and membership can grow with no program in flight.
+		// Reorg strictly precedes activation — a spawned newcomer starts
+		// reading the tree immediately, so nothing may mutate it after
+		// its goroutine exists. (The dormant leaf was in the tree all
+		// along; the plan covers it either way.)
+		if v.ReorgEvery > 0 && st.globalSteps%v.ReorgEvery == 0 {
+			// Crash victims resumed with their error may still be unwinding
+			// user code that reads the tree; wait them out before mutating.
+			v.quiesceDead(st, ctxs)
+			st.epoch++
+			plan := model.PlanReorg(v.tree, st.rer.Estimates(), v.ReorgSeed, st.epoch)
+			if rerr := v.tree.Reorganize(plan); rerr != nil {
+				if st.firstErr == nil {
+					st.firstErr = rerr
+				}
+			} else {
+				v.Obsv.Reorg(st.epoch, plan.Moved, end)
+				// A rebalance can move a leaf under a scope whose members
+				// acknowledged a death or join it only saw elsewhere.
+				// Equalize per-scope ack sets across the live processors so
+				// a moved-in member never burns a notice generation its new
+				// peers do not — the notice protocol's core invariant is
+				// that a scope's members hold identical ack sets.
+				skip := func(pid int) bool {
+					return st.dormant[pid] || st.dead[pid] != nil
+				}
+				equalizeAcks(st.acked, skip)
+				equalizeAcks(st.ackedJoin, skip)
+			}
+		}
+		v.membershipCut(st, ctxs, end)
 	}
 
 	st.steps = append(st.steps, trace.Step{

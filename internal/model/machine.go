@@ -58,6 +58,16 @@ type Machine struct {
 	// fills it in from measured indices.
 	CompSlowdown float64
 
+	// EstComp is the measured effective compute slowdown of the machine,
+	// folded in from runtime attribution by the reorganization subsystem
+	// (see Reranker). Zero means "no estimate": the machine is ranked by
+	// its static CompSlowdown. When set, ranking, coordinator tie-breaks
+	// and reorganized share assignment use it instead, so the tree tracks
+	// the drifting environment; the static CompSlowdown keeps charging
+	// the physics (a straggling machine still computes slowly whether or
+	// not the tree has noticed).
+	EstComp float64
+
 	// SyncCost is L_{i,j}: the overhead of a barrier synchronization of
 	// the machines in this machine's subtree. It is meaningful for
 	// clusters; for leaves it is zero.
@@ -116,6 +126,16 @@ func NewCluster(name string, children []*Machine, opts ...Option) *Machine {
 // IsLeaf reports whether the machine is a processor (an HBSP^0 machine
 // or a childless higher-level machine that acts as one).
 func (m *Machine) IsLeaf() bool { return len(m.Children) == 0 }
+
+// EffComp is the compute slowdown used for ranking decisions: the
+// measured EstComp when one has been folded in, the static CompSlowdown
+// otherwise. Cost charging always uses CompSlowdown.
+func (m *Machine) EffComp() float64 {
+	if m.EstComp > 0 {
+		return m.EstComp
+	}
+	return m.CompSlowdown
+}
 
 // Parent returns the enclosing cluster, or nil for the root.
 func (m *Machine) Parent() *Machine { return m.parent }
@@ -184,7 +204,7 @@ func (m *Machine) CoordinatorAmong(alive func(*Machine) bool) *Machine {
 		}
 		if best == nil ||
 			l.CommSlowdown < best.CommSlowdown ||
-			(l.CommSlowdown == best.CommSlowdown && l.CompSlowdown < best.CompSlowdown) {
+			(l.CommSlowdown == best.CommSlowdown && l.EffComp() < best.EffComp()) {
 			best = l
 		}
 	}
@@ -193,14 +213,22 @@ func (m *Machine) CoordinatorAmong(alive func(*Machine) bool) *Machine {
 
 // clone deep-copies the subtree rooted at m. Parent pointers within the
 // copy are rebuilt; the copy's parent is nil.
-func (m *Machine) clone() *Machine {
+func (m *Machine) clone() *Machine { return m.cloneInto(nil) }
+
+// cloneInto is clone recording the original→copy mapping when dst is
+// non-nil, so callers that must preserve identity-keyed state (pid
+// assignments of a reorganized tree) can translate it.
+func (m *Machine) cloneInto(dst map[*Machine]*Machine) *Machine {
 	c := *m
 	c.parent = nil
 	c.Children = make([]*Machine, len(m.Children))
 	for i, ch := range m.Children {
-		cc := ch.clone()
+		cc := ch.cloneInto(dst)
 		cc.parent = &c
 		c.Children[i] = cc
+	}
+	if dst != nil {
+		dst[m] = &c
 	}
 	return &c
 }
@@ -225,13 +253,14 @@ func (m *Machine) render(b *strings.Builder, prefix string, last bool) {
 }
 
 // sortLeavesBySpeed returns the given leaves ordered fastest-first by
-// compute slowdown, breaking ties by communication slowdown then index.
+// effective compute slowdown (measured estimate when present, static
+// otherwise), breaking ties by communication slowdown then index.
 func sortLeavesBySpeed(leaves []*Machine) []*Machine {
 	out := append([]*Machine(nil), leaves...)
 	sort.SliceStable(out, func(a, b int) bool {
 		la, lb := out[a], out[b]
-		if la.CompSlowdown != lb.CompSlowdown {
-			return la.CompSlowdown < lb.CompSlowdown
+		if la.EffComp() != lb.EffComp() {
+			return la.EffComp() < lb.EffComp()
 		}
 		return la.CommSlowdown < lb.CommSlowdown
 	})

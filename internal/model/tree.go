@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Tolerance for floating-point invariant checks (share sums, unit
@@ -24,8 +25,17 @@ type Tree struct {
 
 	k      int
 	levels [][]*Machine // levels[i] holds the HBSP^i machines, by Index
-	leaves []*Machine   // all processors in left-to-right order
+	leaves []*Machine   // all processors, by pid
 	pids   map[*Machine]int
+
+	// Memoized fastest-first ranking (RankedLeaves/Rank), rebuilt lazily
+	// under rankMu — programs query ranks concurrently on the Concurrent
+	// engine — and invalidated whenever the parameters feeding the
+	// ordering can have changed (index, Normalize, Reorganize,
+	// RestoreLayout).
+	rankMu sync.Mutex
+	ranked []*Machine
+	rankOf map[*Machine]int
 }
 
 // New builds a Tree from a machine hierarchy and bandwidth indicator g,
@@ -55,11 +65,15 @@ func MustNew(root *Machine, g float64) *Tree {
 }
 
 // index assigns Level and Index to every machine and rebuilds the level
-// and leaf tables. It is called by New and again by Normalize.
+// and leaf tables. It is called by New, again by Normalize, and after
+// every reorganization. When the leaf set is unchanged the existing pid
+// assignment is preserved — a reorganization moves processors around
+// the tree without renaming them, so programs keep routing by pid —
+// otherwise pids are assigned fresh in left-to-right tree order.
 func (t *Tree) index() {
 	t.k = t.Root.Height()
 	t.levels = make([][]*Machine, t.k+1)
-	t.leaves = nil
+	var walked []*Machine
 	var walk func(m *Machine, depth int)
 	walk = func(m *Machine, depth int) {
 		lvl := t.k - depth
@@ -67,7 +81,7 @@ func (t *Tree) index() {
 		m.Index = len(t.levels[lvl])
 		t.levels[lvl] = append(t.levels[lvl], m)
 		if m.IsLeaf() {
-			t.leaves = append(t.leaves, m)
+			walked = append(walked, m)
 		}
 		for _, c := range m.Children {
 			c.parent = m
@@ -76,10 +90,36 @@ func (t *Tree) index() {
 	}
 	t.Root.parent = nil
 	walk(t.Root, 0)
+	defer t.invalidateRank()
+	if len(t.pids) == len(walked) {
+		same := true
+		for _, l := range walked {
+			if _, ok := t.pids[l]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.leaves = make([]*Machine, len(walked))
+			for _, l := range walked {
+				t.leaves[t.pids[l]] = l
+			}
+			return
+		}
+	}
+	t.leaves = walked
 	t.pids = make(map[*Machine]int, len(t.leaves))
 	for pid, l := range t.leaves {
 		t.pids[l] = pid
 	}
+}
+
+// invalidateRank drops the memoized ranking; the next RankedLeaves or
+// Rank call rebuilds it.
+func (t *Tree) invalidateRank() {
+	t.rankMu.Lock()
+	t.ranked, t.rankOf = nil, nil
+	t.rankMu.Unlock()
 }
 
 // K returns the height k of the machine tree: the number of distinct
@@ -107,8 +147,11 @@ func (t *Tree) Lookup(i, j int) *Machine {
 	return ms[j]
 }
 
-// Leaves returns every processor of the machine in left-to-right order.
-// The position of a leaf in this slice is its processor id (pid).
+// Leaves returns every processor of the machine, by pid: the position
+// of a leaf in this slice is its processor id. On a freshly built tree
+// pid order coincides with left-to-right tree order; after a
+// reorganization pids stay put while the leaves move, so this slice is
+// no longer tree order (Machine.Leaves still is).
 func (t *Tree) Leaves() []*Machine { return t.leaves }
 
 // NProcs returns the number of processors (leaves).
@@ -166,9 +209,17 @@ func (t *Tree) SlowestLeaf() *Machine {
 	return worst
 }
 
-// RankedLeaves returns the processors ordered fastest-first by compute
-// slowdown (the BYTEmark ranking of §5.1).
-func (t *Tree) RankedLeaves() []*Machine { return sortLeavesBySpeed(t.leaves) }
+// RankedLeaves returns the processors ordered fastest-first by
+// effective compute slowdown (the BYTEmark ranking of §5.1, updated by
+// measured estimates after a reorganization). The result is memoized —
+// callers must treat it as read-only — and invalidated whenever the
+// tree is re-indexed, normalized or reorganized.
+func (t *Tree) RankedLeaves() []*Machine {
+	t.rankMu.Lock()
+	defer t.rankMu.Unlock()
+	t.fillRankLocked()
+	return t.ranked
+}
 
 // Rank returns the position of the leaf in the fastest-first compute
 // ranking (0 = fastest), or -1 for a non-leaf.
@@ -176,12 +227,23 @@ func (t *Tree) Rank(m *Machine) int {
 	if _, ok := t.pids[m]; !ok {
 		return -1
 	}
-	for i, l := range t.RankedLeaves() {
-		if l == m {
-			return i
-		}
+	t.rankMu.Lock()
+	defer t.rankMu.Unlock()
+	t.fillRankLocked()
+	return t.rankOf[m]
+}
+
+// fillRankLocked rebuilds the memoized ranking if it was invalidated.
+// Caller holds rankMu.
+func (t *Tree) fillRankLocked() {
+	if t.ranked != nil {
+		return
 	}
-	return -1
+	t.ranked = sortLeavesBySpeed(t.leaves)
+	t.rankOf = make(map[*Machine]int, len(t.ranked))
+	for i, l := range t.ranked {
+		t.rankOf[l] = i
+	}
 }
 
 // Subtree extracts the machine rooted at M_{i,j} as an independent,
@@ -200,9 +262,16 @@ func (t *Tree) Subtree(i, j int) (*Tree, error) {
 	return sub.Normalize(), nil
 }
 
-// Clone returns a deep copy of the tree.
+// Clone returns a deep copy of the tree, preserving the pid assignment
+// (a clone of a reorganized tree keeps every processor's id even though
+// pid order no longer matches tree order).
 func (t *Tree) Clone() *Tree {
-	c := &Tree{Root: t.Root.clone(), G: t.G}
+	m2c := make(map[*Machine]*Machine)
+	c := &Tree{Root: t.Root.cloneInto(m2c), G: t.G}
+	c.pids = make(map[*Machine]int, len(t.pids))
+	for m, pid := range t.pids {
+		c.pids[m2c[m]] = pid
+	}
 	c.index()
 	return c
 }
@@ -275,6 +344,7 @@ func (t *Tree) Normalize() *Tree {
 		return s
 	}
 	sum(t.Root)
+	t.invalidateRank()
 	return t
 }
 

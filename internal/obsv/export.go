@@ -114,6 +114,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			ce.Ph, ce.S = "i", "p"
 			ce.Name = "chaos:" + e.Name
 			ce.Args = map[string]any{"step": e.Step, "src": e.Src, "dst": e.Dst}
+		case KindReorg:
+			ce.Ph, ce.S = "i", "g"
+			ce.Name = "reorg"
+			ce.Args = map[string]any{"epoch": e.Step, "moved": e.Src}
 		default:
 			continue
 		}

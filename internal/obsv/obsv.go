@@ -45,6 +45,9 @@ const (
 	// KindChaos is one observed fault injection (drop, duplicate,
 	// delay, crash, straggler); Name carries the fate.
 	KindChaos
+	// KindReorg is one barrier-time tree reorganization: Step carries
+	// the reorg epoch, Src the number of leaves that changed slots.
+	KindReorg
 )
 
 // String returns the kind's wire name (used by every exporter).
@@ -60,6 +63,8 @@ func (k Kind) String() string {
 		return "delivery"
 	case KindChaos:
 		return "chaos"
+	case KindReorg:
+		return "reorg"
 	}
 	return "unknown"
 }

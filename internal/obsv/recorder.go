@@ -41,6 +41,7 @@ type Recorder struct {
 	poolHit      *Counter
 	poolMiss     *Counter
 	chaosTotal   *Counter
+	reorgTotal   *Counter
 	predTotal    *Gauge
 	measTotal    *Gauge
 	predSum      atomicFloat
@@ -86,6 +87,7 @@ func New(cfg Config) *Recorder {
 	reg.Help("hbspk_bytes_total", "Bytes delivered, overall and per (src,dst,tag).")
 	reg.Help("hbspk_pool_draws_total", "Wire-buffer pool draws by result.")
 	reg.Help("hbspk_chaos_injections_total", "Chaos injections observed by fate.")
+	reg.Help("hbspk_reorgs_total", "Barrier-time tree reorganizations applied.")
 	reg.Help("hbspk_predicted_time_total", "Summed cost-model predicted superstep time T_i.")
 	reg.Help("hbspk_measured_time_total", "Summed measured superstep time.")
 	r := &Recorder{
@@ -102,6 +104,7 @@ func New(cfg Config) *Recorder {
 		poolHit:      reg.Counter("hbspk_pool_draws_total", "result", "hit"),
 		poolMiss:     reg.Counter("hbspk_pool_draws_total", "result", "miss"),
 		chaosTotal:   reg.Counter("hbspk_chaos_injections_total"),
+		reorgTotal:   reg.Counter("hbspk_reorgs_total"),
 		predTotal:    reg.Gauge("hbspk_predicted_time_total"),
 		measTotal:    reg.Gauge("hbspk_measured_time_total"),
 	}
@@ -217,6 +220,20 @@ func (r *Recorder) Chaos(fate string, step, src, dst int, at float64) {
 		Kind: KindChaos, Step: int32(step), Pid: int32(dst),
 		Src: int32(src), Dst: int32(dst), Tag: -1,
 		Start: at, End: at, Name: fate,
+	})
+}
+
+// Reorg records one applied barrier-time tree reorganization: epoch is
+// the reorg ordinal, moved how many leaves changed slots.
+func (r *Recorder) Reorg(epoch, moved int, at float64) {
+	if r == nil {
+		return
+	}
+	r.reorgTotal.Inc()
+	r.ring.put(Event{
+		Kind: KindReorg, Step: int32(epoch), Pid: -1,
+		Src: int32(moved), Dst: -1, Tag: -1,
+		Start: at, End: at, Name: "reorg",
 	})
 }
 
