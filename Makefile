@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race chaos verify fuzz bench cover clean
+.PHONY: check build vet lint vet-sarif test race chaos verify fuzz bench cover clean
 
 check: build vet lint race chaos verify
 
@@ -16,10 +16,18 @@ vet:
 
 # lint runs hbspk-vet, the model-invariant checkers of internal/analysis
 # (sync discipline, communication topology, buffer lifetimes, buffer
-# reuse, dropped errors, cost parameters, lock order, stale ignore
-# directives), over every package including tests.
+# reuse, SPMD alignment, buffer ownership, dropped errors, cost
+# parameters, lock order, stale ignore directives), over every package
+# including tests.
 lint:
 	$(GO) run ./cmd/hbspk-vet ./...
+
+# vet-sarif runs the same suite and writes the findings as a SARIF
+# 2.1.0 log for code-scanning UIs. A clean tree produces a log whose
+# runs[0].results is empty — bench/vet_baseline.sarif records exactly
+# that, and check.sh fails on any drift from it.
+vet-sarif:
+	$(GO) run ./cmd/hbspk-vet -sarif results/vet.sarif ./...
 
 test:
 	$(GO) test ./...

@@ -22,7 +22,26 @@ fi
 
 go build ./...
 go vet ./...
-go run ./cmd/hbspk-vet ./...
+
+# Zero-findings gate (DESIGN.md §5.8): the full analyzer suite — SPMD
+# alignment and buffer ownership included — over every package, tests
+# too, must report nothing that is not under an audited //hbspk:ignore.
+# Findings are also emitted as SARIF and compared against the committed
+# empty baseline, so any new finding fails even if exit codes drift;
+# the run must fit the 30s wall-time budget.
+start=$(date +%s)
+mkdir -p results
+go run ./cmd/hbspk-vet -sarif results/vet.sarif ./...
+elapsed=$(( $(date +%s) - start ))
+echo "hbspk-vet sarif run wall time: ${elapsed}s (budget 30s)"
+[ "$elapsed" -le 30 ]
+new=$(grep -c '"ruleId"' results/vet.sarif || true)
+base=$(grep -c '"ruleId"' bench/vet_baseline.sarif || true)
+if [ "$new" -ne "$base" ]; then
+	echo "hbspk-vet findings drifted from the committed baseline: $new result(s) vs $base" >&2
+	exit 1
+fi
+
 go test -race ./...
 
 # Seeded chaos smoke: fault injection across the fabric, both engines,

@@ -1,8 +1,8 @@
 // Command hbspk-vet is the HBSP^k multichecker: it applies the
 // internal/analysis suite — syncdiscipline, commgraph, syncflow,
-// bufreuse, uncheckedrun, costparams, costbound, lockorder — to the
-// packages named on the command line and exits non-zero if any
-// invariant of the programming model is violated.
+// bufreuse, pidtaint, bufown, uncheckedrun, costparams, costbound,
+// lockorder — to the packages named on the command line and exits
+// non-zero if any invariant of the programming model is violated.
 //
 // Usage:
 //
@@ -29,9 +29,16 @@
 //
 //	hbspk-vet -conform-graph g.json -conform-events run.jsonl
 //
+// SPMD alignment only (the pidtaint analyzer, DESIGN.md §5.8):
+//
+//	hbspk-vet -align ./...
+//
 // Diagnostics print as file:line:col: message (analyzer), or as a JSON
-// array of {file, line, col, analyzer, message} objects under -json —
-// the machine-readable form CI and editor integrations consume.
+// array of {file, line, col, endLine, endCol, analyzer, message}
+// objects under -json — the machine-readable form CI and editor
+// integrations consume. -sarif <path> additionally writes the findings
+// as a SARIF 2.1.0 log ("-" for stdout), the interchange form
+// code-scanning UIs ingest.
 // Individual findings can be suppressed with a trailing
 // `//hbspk:ignore <analyzer>` comment after a human audit; a directive
 // that no longer suppresses anything — or that names an analyzer that
@@ -62,11 +69,14 @@ import (
 	"hbspk/internal/obsv"
 )
 
-// jsonDiagnostic is the -json wire form of one finding.
+// jsonDiagnostic is the -json wire form of one finding. End positions
+// are present when the analyzer reported a range rather than a point.
 type jsonDiagnostic struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
+	EndLine  int    `json:"endLine,omitempty"`
+	EndCol   int    `json:"endCol,omitempty"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
 	Advice   bool   `json:"advice,omitempty"`
@@ -78,6 +88,8 @@ func main() {
 		noTests   = flag.Bool("skip-tests", false, "do not analyze _test.go files")
 		only      = flag.String("run", "", "comma-separated analyzer names to run (default all)")
 		asJSON    = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		sarifOut  = flag.String("sarif", "", "write findings as a SARIF 2.1.0 log to this path (- for stdout)")
+		alignOnly = flag.Bool("align", false, "run only the SPMD alignment analyzer (pidtaint)")
 		cost      = flag.Bool("cost", false, "print symbolic per-superstep cost bounds for the analyzed functions")
 		treeName  = flag.String("tree", "", "machine tree (preset ucf, figure1, grid, chain, or JSON spec path): evaluates -cost bounds and enables variantcheck advice")
 		costRatio = flag.Float64("cost-ratio", 1.5, "variantcheck advice threshold: report when another variant is this many times cheaper")
@@ -116,6 +128,12 @@ func main() {
 		}
 	}
 
+	if *alignOnly {
+		if *only != "" {
+			fatal(fmt.Errorf("hbspk-vet: -align and -run are mutually exclusive"))
+		}
+		*only = "pidtaint"
+	}
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
 		fatal(err)
@@ -165,6 +183,16 @@ func main() {
 			errors++
 		}
 	}
+	if *sarifOut != "" {
+		advisory := map[string]string{}
+		if tree != nil {
+			advisory[analysis.VariantCheckName] = "advise statically-profitable collective-variant switches"
+		}
+		doc := analysis.SARIFDoc(loader.Fset(), diags, analyzers, moduleDir, advisory)
+		if err := writeSARIF(doc, *sarifOut); err != nil {
+			fatal(err)
+		}
+	}
 	if *asJSON {
 		out := make([]jsonDiagnostic, 0, len(diags))
 		for _, d := range diags {
@@ -173,11 +201,16 @@ func main() {
 			if relErr != nil {
 				rel = pos.Filename
 			}
-			out = append(out, jsonDiagnostic{
+			jd := jsonDiagnostic{
 				File: rel, Line: pos.Line, Col: pos.Column,
 				Analyzer: d.Analyzer, Message: d.Message,
 				Advice: d.Analyzer == analysis.VariantCheckName,
-			})
+			}
+			if d.End.IsValid() {
+				end := loader.Fset().Position(d.End)
+				jd.EndLine, jd.EndCol = end.Line, end.Column
+			}
+			out = append(out, jd)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -236,6 +269,24 @@ func runConformance(graphPath, eventsPath string) int {
 		return 1
 	}
 	return 0
+}
+
+// writeSARIF encodes the SARIF log to path ("-" for stdout).
+func writeSARIF(doc *analysis.SARIFLog, path string) error {
+	if path == "-" {
+		return doc.WriteSARIF(os.Stdout)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return doc.WriteSARIF(f)
 }
 
 // writeGraph encodes the commgraph document to path ("-" for stdout).

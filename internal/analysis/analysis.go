@@ -30,6 +30,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one static check. The zero analyzer is invalid: Name, Doc
@@ -64,6 +65,11 @@ type Pass struct {
 	// suppressed a finding, keyed by ignoreKey; the driver uses it to
 	// flag stale directives after all analyzers have run.
 	fired map[string]bool
+
+	// pkg, when set by the driver, carries the loaded package so
+	// analyzers can share per-package computations (the call graph,
+	// per-function summaries) instead of rebuilding them per pass.
+	pkg *Package
 }
 
 // ignoreKey identifies one suppression directive: the bare form and
@@ -72,9 +78,13 @@ func ignoreKey(file string, line int, name string) string {
 	return fmt.Sprintf("%s:%d:%s", file, line, name)
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. End, when valid,
+// closes the finding's source range (exclusive), giving SARIF regions
+// and editor integrations a precise extent; a zero End means the
+// finding is a point at Pos.
 type Diagnostic struct {
 	Pos      token.Pos
+	End      token.Pos
 	Message  string
 	Analyzer string
 }
@@ -82,10 +92,18 @@ type Diagnostic struct {
 // Reportf reports a formatted finding at pos unless the line carries an
 // `//hbspk:ignore <name>` (or bare `//hbspk:ignore`) directive.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportRangef(pos, token.NoPos, format, args...)
+}
+
+// ReportRangef reports a formatted finding spanning [pos, end), subject
+// to the same suppression directives as Reportf. Analyzers that hold the
+// offending node pass its Pos/End pair so downstream consumers (SARIF,
+// -json) get the full extent rather than a single column.
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
 	if p.suppressed(pos) {
 		return
 	}
-	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+	p.Report(Diagnostic{Pos: pos, End: end, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
 }
 
 // suppressed reports whether pos's line carries an ignore directive for
@@ -126,7 +144,7 @@ func (p *Pass) buildNoLint() {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := parseIgnore(c.Text)
+				names, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
@@ -139,21 +157,27 @@ func (p *Pass) buildNoLint() {
 				if lines[position.Line] == nil {
 					lines[position.Line] = make(map[string]bool)
 				}
-				lines[position.Line][name] = true
+				for _, name := range names {
+					lines[position.Line][name] = true
+				}
 			}
 		}
 	}
 }
 
-// parseIgnore recognizes `//hbspk:ignore` and `//hbspk:ignore name ...`.
-func parseIgnore(text string) (name string, ok bool) {
+// parseIgnore recognizes `//hbspk:ignore` (the bare form, returned as
+// the single name ""), `//hbspk:ignore name ...`, and the multi-name
+// form `//hbspk:ignore name1,name2 ...` — one line occasionally needs
+// to silence two analyzers whose checks overlap (bufreuse and bufown
+// both see a deliberate resend under test).
+func parseIgnore(text string) (names []string, ok bool) {
 	const prefix = "//hbspk:ignore"
 	if len(text) < len(prefix) || text[:len(prefix)] != prefix {
-		return "", false
+		return nil, false
 	}
 	rest := text[len(prefix):]
 	if len(rest) > 0 && rest[0] != ' ' && rest[0] != '\t' {
-		return "", false // e.g. //hbspk:ignored is not a directive
+		return nil, false // e.g. //hbspk:ignored is not a directive
 	}
 	for len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t') {
 		rest = rest[1:]
@@ -164,16 +188,29 @@ func parseIgnore(text string) (name string, ok bool) {
 			break
 		}
 	}
-	return rest, true
+	if rest == "" {
+		return []string{""}, true
+	}
+	for _, name := range strings.Split(rest, ",") {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return []string{""}, true
+	}
+	return names, true
 }
 
 // All returns the full hbspk-vet suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		SyncDiscipline,
+		PidTaint,
 		CommGraph,
 		SyncFlow,
 		BufReuse,
+		BufOwn,
 		UncheckedRun,
 		CostParams,
 		CostBound,
@@ -229,6 +266,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				TypesInfo: pkg.Info,
 				Report:    func(d Diagnostic) { diags = append(diags, d) },
 				fired:     fired,
+				pkg:       pkg,
 			}
 			if err := a.Run(pass); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -236,8 +274,37 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		diags = append(diags, staleIgnores(pkg, ran, fired)...)
 	}
+	diags = dedupeOverlapping(diags, ran)
 	sortDiagnostics(pkgs, diags)
 	return diags, firstErr
+}
+
+// dedupeOverlapping drops the shallower of two findings that diagnose
+// the same defect at the same position: bufown's path-sensitive
+// ownership proofs subsume bufreuse's source-order resend and
+// pack-after-send reports, so when both analyzers ran and both fired on
+// one call, only bufown's (which names the offending path) survives.
+func dedupeOverlapping(diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	if !ran[BufOwn.Name] || !ran[BufReuse.Name] {
+		return diags
+	}
+	owned := make(map[token.Pos]bool)
+	for _, d := range diags {
+		if d.Analyzer == BufOwn.Name {
+			owned[d.Pos] = true
+		}
+	}
+	if len(owned) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer == BufReuse.Name && owned[d.Pos] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // staleIgnores reports each suppression directive in pkg that no
@@ -256,39 +323,41 @@ func staleIgnores(pkg *Package, ran map[string]bool, fired map[string]bool) []Di
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := parseIgnore(c.Text)
+				names, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
-				if name == "" && !fullSuite {
-					continue
-				}
-				if name != "" && !known[name] {
-					pos := c.Pos()
+				for _, name := range names {
+					if name == "" && !fullSuite {
+						continue
+					}
+					if name != "" && !known[name] {
+						pos := c.Pos()
+						out = append(out, Diagnostic{
+							Pos:      pos,
+							Analyzer: StaleIgnoreName,
+							Message: fmt.Sprintf(
+								"//hbspk:ignore %s names no analyzer (renamed or removed?): the directive silences nothing", name),
+						})
+						continue
+					}
+					if name != "" && !ran[name] {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if fired[ignoreKey(pos.Filename, pos.Line, name)] {
+						continue
+					}
+					what := "//hbspk:ignore"
+					if name != "" {
+						what += " " + name
+					}
 					out = append(out, Diagnostic{
-						Pos:      pos,
+						Pos:      c.Pos(),
 						Analyzer: StaleIgnoreName,
-						Message: fmt.Sprintf(
-							"//hbspk:ignore %s names no analyzer (renamed or removed?): the directive silences nothing", name),
+						Message:  fmt.Sprintf("stale %s: the directive suppresses nothing on its line", what),
 					})
-					continue
 				}
-				if name != "" && !ran[name] {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				if fired[ignoreKey(pos.Filename, pos.Line, name)] {
-					continue
-				}
-				what := "//hbspk:ignore"
-				if name != "" {
-					what += " " + name
-				}
-				out = append(out, Diagnostic{
-					Pos:      c.Pos(),
-					Analyzer: StaleIgnoreName,
-					Message:  fmt.Sprintf("stale %s: the directive suppresses nothing on its line", what),
-				})
 			}
 		}
 	}

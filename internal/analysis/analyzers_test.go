@@ -21,19 +21,50 @@ func runGolden(t *testing.T, a *Analyzer, pattern string) {
 	}
 }
 
-func TestSyncDisciplineGolden(t *testing.T) { runGolden(t, SyncDiscipline, "syncdiscipline") }
+func TestSyncDisciplineGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, SyncDiscipline, "syncdiscipline")
+}
 
-func TestCommGraphGolden(t *testing.T) { runGolden(t, CommGraph, "commgraph") }
+func TestCommGraphGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, CommGraph, "commgraph")
+}
 
-func TestSyncFlowGolden(t *testing.T) { runGolden(t, SyncFlow, "syncflow") }
+func TestSyncFlowGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, SyncFlow, "syncflow")
+}
 
-func TestBufReuseGolden(t *testing.T) { runGolden(t, BufReuse, "bufreuse") }
+func TestBufReuseGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, BufReuse, "bufreuse")
+}
 
-func TestUncheckedRunGolden(t *testing.T) { runGolden(t, UncheckedRun, "uncheckedrun") }
+func TestPidTaintGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, PidTaint, "pidtaint")
+}
 
-func TestCostParamsGolden(t *testing.T) { runGolden(t, CostParams, "costparams") }
+func TestBufOwnGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, BufOwn, "bufown")
+}
 
-func TestLockOrderGolden(t *testing.T) { runGolden(t, LockOrder, "lockorder") }
+func TestUncheckedRunGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, UncheckedRun, "uncheckedrun")
+}
+
+func TestCostParamsGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, CostParams, "costparams")
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, LockOrder, "lockorder")
+}
 
 // TestSuiteOnRepo runs the full suite over the repository itself: the
 // tree must stay clean, so hbspk-vet can gate CI. This doubles as an
@@ -64,29 +95,64 @@ func TestSuiteOnRepo(t *testing.T) {
 	}
 }
 
-// TestIgnoreDirectiveParsing pins the suppression comment grammar.
+// TestDedupeOverlapping pins the cross-analyzer rule: when bufown and
+// bufreuse both fire on one call, only bufown's path-sensitive report
+// survives; findings at other positions and from other analyzers pass
+// through untouched.
+func TestDedupeOverlapping(t *testing.T) {
+	t.Parallel()
+	diags := []Diagnostic{
+		{Pos: 10, Analyzer: BufOwn.Name, Message: "sent again"},
+		{Pos: 10, Analyzer: BufReuse.Name, Message: "resent"},
+		{Pos: 20, Analyzer: BufReuse.Name, Message: "pack after send"},
+		{Pos: 10, Analyzer: PidTaint.Name, Message: "unrelated"},
+	}
+	ran := map[string]bool{BufOwn.Name: true, BufReuse.Name: true}
+	out := dedupeOverlapping(diags, ran)
+	if len(out) != 3 {
+		t.Fatalf("dedupe kept %d diagnostics, want 3: %v", len(out), out)
+	}
+	for _, d := range out {
+		if d.Analyzer == BufReuse.Name && d.Pos == 10 {
+			t.Errorf("bufreuse finding at the bufown position survived the dedupe")
+		}
+	}
+	// Without both analyzers in the run there is nothing to dedupe.
+	solo := dedupeOverlapping([]Diagnostic{{Pos: 10, Analyzer: BufReuse.Name}}, map[string]bool{BufReuse.Name: true})
+	if len(solo) != 1 {
+		t.Errorf("dedupe with bufown absent dropped a finding")
+	}
+}
+
+// TestIgnoreDirectiveParsing pins the suppression comment grammar,
+// including the comma-separated multi-analyzer form.
 func TestIgnoreDirectiveParsing(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
-		text string
-		name string
-		ok   bool
+		text  string
+		names string // comma-joined expectation
+		ok    bool
 	}{
 		{"//hbspk:ignore", "", true},
 		{"//hbspk:ignore syncdiscipline", "syncdiscipline", true},
 		{"//hbspk:ignore bufreuse trailing words", "bufreuse", true},
+		{"//hbspk:ignore bufreuse,bufown deliberate double send", "bufreuse,bufown", true},
+		{"//hbspk:ignore a,b,c", "a,b,c", true},
 		{"// regular comment", "", false},
 		{"//hbspk:ignored", "", false}, // a longer word is not the directive
 	}
 	for _, c := range cases {
-		name, ok := parseIgnore(c.text)
-		if ok != c.ok || name != c.name {
-			t.Errorf("parseIgnore(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		names, ok := parseIgnore(c.text)
+		got := strings.Join(names, ",")
+		if ok != c.ok || (ok && got != c.names) {
+			t.Errorf("parseIgnore(%q) = %q, %v; want %q, %v", c.text, got, ok, c.names, c.ok)
 		}
 	}
 }
 
 // TestWantPatternSplitting pins the golden-comment grammar.
 func TestWantPatternSplitting(t *testing.T) {
+	t.Parallel()
 	got := splitWantPatterns("\"first\" `second` \"with \\\" quote\"")
 	want := []string{"first", "second", `with " quote`}
 	if strings.Join(got, "|") != strings.Join(want, "|") {

@@ -24,7 +24,11 @@ import (
 // The check is per-function and source-ordered: a reuse is reported when
 // it appears after a send of the same variable with no intervening
 // reassignment. Rebinding the variable to a fresh buffer/slice resets
-// the tracking.
+// the tracking. Deferred calls are replayed after the body in LIFO
+// order — the execution order, not the textual one — so a
+// `defer t.Send(…, buf)` ahead of the packing code is not a
+// pack-after-send, and `defer msg.Release()` is plain cleanup, not a
+// reuse (its lifetime rules belong to bufown).
 var BufReuse = &Analyzer{
 	Name: "bufreuse",
 	Doc:  "flag pvm.Buffer packing and payload mutation after the data was sent",
@@ -52,12 +56,18 @@ func checkBufReuse(pass *Pass, body *ast.BlockStmt) {
 
 	// Events in source order: position ordering within one body is the
 	// analyzer's approximation of control flow (documented in Doc).
+	// Deferred statements run after the body, last defer first: their
+	// events replay in a later phase, keyed so LIFO order holds.
 	type event struct {
-		pos token.Pos
-		fn  func()
+		phase int
+		pos   token.Pos
+		fn    func()
 	}
 	var events []event
-	add := func(pos token.Pos, fn func()) { events = append(events, event{pos, fn}) }
+	defers := collectDeferRanges(body)
+	add := func(pos token.Pos, fn func()) {
+		events = append(events, event{defers.phaseOf(pos), pos, fn})
+	}
 
 	walkBody(body, func(n ast.Node) bool {
 		switch st := n.(type) {
@@ -144,10 +154,16 @@ func checkBufReuse(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 
-	// Replay in source order.
+	// Replay in execution order: body first, then the defers.
 	sortEvents := func() {
+		less := func(a, b event) bool {
+			if a.phase != b.phase {
+				return a.phase < b.phase
+			}
+			return a.pos < b.pos
+		}
 		for i := 1; i < len(events); i++ {
-			for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			for j := i; j > 0 && less(events[j], events[j-1]); j-- {
 				events[j], events[j-1] = events[j-1], events[j]
 			}
 		}
@@ -156,6 +172,31 @@ func checkBufReuse(pass *Pass, body *ast.BlockStmt) {
 	for _, ev := range events {
 		ev.fn()
 	}
+}
+
+// deferRanges maps positions inside defer statements to their replay
+// phase: 0 for body code, then one phase per defer in reverse textual
+// order (the last defer pushed runs first).
+type deferRanges []struct{ pos, end token.Pos }
+
+func collectDeferRanges(body *ast.BlockStmt) deferRanges {
+	var dr deferRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			dr = append(dr, struct{ pos, end token.Pos }{d.Pos(), d.End()})
+		}
+		return true
+	})
+	return dr
+}
+
+func (dr deferRanges) phaseOf(pos token.Pos) int {
+	for i := len(dr) - 1; i >= 0; i-- {
+		if pos >= dr[i].pos && pos < dr[i].end {
+			return len(dr) - i
+		}
+	}
+	return 0
 }
 
 // payloadObj resolves expressions naming a []byte variable: the bare

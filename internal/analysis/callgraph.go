@@ -18,7 +18,7 @@ import (
 // callGraph indexes a package's function declarations and the
 // synchronizes-transitively fact.
 type callGraph struct {
-	pass *Pass
+	info *types.Info
 	// decls maps each declared function or method to its body.
 	decls map[*types.Func]*ast.FuncDecl
 	// syncs holds the fixpoint: fn contains a synchronizing call,
@@ -26,10 +26,25 @@ type callGraph struct {
 	syncs map[*types.Func]bool
 }
 
+// sharedCallGraph returns the package's call graph, building it once
+// and caching it on the Package when the driver supplied one; standalone
+// passes (tests, the cost exporter) fall back to a private build. The
+// graph depends only on the package's syntax and types, never on the
+// requesting analyzer, so sharing is safe.
+func sharedCallGraph(pass *Pass) *callGraph {
+	if pass.pkg == nil {
+		return buildCallGraph(pass)
+	}
+	if pass.pkg.cg == nil {
+		pass.pkg.cg = buildCallGraph(pass)
+	}
+	return pass.pkg.cg
+}
+
 // buildCallGraph indexes the pass's files and runs the fixpoint.
 func buildCallGraph(pass *Pass) *callGraph {
 	g := &callGraph{
-		pass:  pass,
+		info:  pass.TypesInfo,
 		decls: make(map[*types.Func]*ast.FuncDecl),
 		syncs: make(map[*types.Func]bool),
 	}
@@ -137,9 +152,9 @@ func buildCallGraph(pass *Pass) *callGraph {
 // a structural sync (Sync/SyncAll/Barrier/collective) or a call to a
 // package-local function that synchronizes transitively.
 func (g *callGraph) callSynchronizes(call *ast.CallExpr) bool {
-	if isSyncCall(g.pass.TypesInfo, call) {
+	if isSyncCall(g.info, call) {
 		return true
 	}
-	fn := calleeFunc(g.pass.TypesInfo, call)
+	fn := calleeFunc(g.info, call)
 	return fn != nil && g.syncs[fn]
 }

@@ -2,17 +2,29 @@ package analysis
 
 import "testing"
 
-func TestCallGraphGolden(t *testing.T) { runGolden(t, CommGraph, "callgraph") }
+func TestCallGraphGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, CommGraph, "callgraph")
+}
 
-func TestStaleIgnoreGolden(t *testing.T) { runGolden(t, CommGraph, "staleignore") }
+func TestStaleIgnoreGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, CommGraph, "staleignore")
+}
 
-func TestCostParamsCalibrationGolden(t *testing.T) { runGolden(t, CostParams, "costparamscal") }
+func TestCostParamsCalibrationGolden(t *testing.T) {
+	t.Parallel()
+	runGolden(t, CostParams, "costparamscal")
+}
 
 // TestCallGraphFixpoint asserts the synchronizes set directly: mutual
 // recursion converges with both parties marked, method and function
-// values mark their creators, and a barrier-free helper stays unmarked
-// (the over-approximation is not an any-call approximation).
+// values mark their creators — including function and method values
+// passed as call arguments, the collective-combiner seam pidtaint and
+// bufown depend on — and a barrier-free helper stays unmarked (the
+// over-approximation is not an any-call approximation).
 func TestCallGraphFixpoint(t *testing.T) {
+	t.Parallel()
 	loader, err := NewLoader("testdata/src")
 	if err != nil {
 		t.Fatal(err)
@@ -39,13 +51,14 @@ func TestCallGraphFixpoint(t *testing.T) {
 		syncsByName[fn.Name()] = g.syncs[fn]
 	}
 	wantSync := []string{"pingSync", "pongSync", "viaMethodValue", "viaFuncValue", "syncHelper",
-		"afterMutualRecursion", "afterMethodValue", "afterFuncValue"}
+		"afterMutualRecursion", "afterMethodValue", "afterFuncValue",
+		"passesFuncValueArg", "passesMethodValueArg"}
 	for _, name := range wantSync {
 		if !syncsByName[name] {
 			t.Errorf("fixpoint misses %s: must be marked synchronizing", name)
 		}
 	}
-	wantClean := []string{"pureHelper", "afterPureHelper"}
+	wantClean := []string{"pureHelper", "afterPureHelper", "pureStep", "passesPureFuncValueArg", "apply"}
 	for _, name := range wantClean {
 		if syncsByName[name] {
 			t.Errorf("fixpoint over-marks %s: it contains no barrier on any path", name)

@@ -43,8 +43,8 @@ var scopeAncestorNames = map[string]bool{
 
 func runCommGraph(pass *Pass) error {
 	entries := programEntryBodies(pass)
+	g := sharedCallGraph(pass)
 	for _, f := range pass.Files {
-		g := buildCallGraph(pass)
 		funcBodies(f, func(name string, body *ast.BlockStmt) {
 			checkCommTopology(pass, g, body, entries[body])
 		})

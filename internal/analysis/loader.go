@@ -24,6 +24,15 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Lazily-built per-package summaries, shared across the analyzers of
+	// one RunAnalyzers invocation so the interprocedural layer (call
+	// graph, stale-parameter facts, alignment summaries) is computed once
+	// per package rather than once per analyzer — the cache that keeps
+	// the whole-repo run inside the CI wall-time budget.
+	cg          *callGraph
+	staleParams map[*types.Func]map[int]bool
+	alignSums   map[*types.Func]string
 }
 
 // Loader loads packages of one module from source, resolving in-module

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 export: the standard interchange form for static-analysis
+// results, consumed by code-scanning UIs and CI gates. One run per
+// document, one reportingDescriptor per analyzer that fired or ran, one
+// result per diagnostic with a precise region (endLine/endColumn when
+// the analyzer reported a range). Advisory analyzers (variantcheck) map
+// to level "note", everything else to "error" — mirroring hbspk-vet's
+// exit-code split.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// SARIFDoc builds the SARIF log for one vet run. analyzers is the set
+// that ran (their docs become the rule metadata even with zero
+// findings, so a clean run still names its checks); moduleDir rebases
+// file names to module-relative URIs.
+func SARIFDoc(fset *token.FileSet, diags []Diagnostic, analyzers []*Analyzer, moduleDir string, advisory map[string]string) *SARIFLog {
+	var rules []sarifRule
+	index := make(map[string]int)
+	addRule := func(name, doc string) {
+		if _, ok := index[name]; ok {
+			return
+		}
+		index[name] = len(rules)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	for _, name := range sortedKeys(advisory) {
+		addRule(name, advisory[name])
+	}
+	// Diagnostics can carry analyzers outside the declared set
+	// (staleignore, variantcheck): register them as they appear.
+	for _, d := range diags {
+		addRule(d.Analyzer, d.Analyzer)
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		uri := pos.Filename
+		if rel, err := filepath.Rel(moduleDir, uri); err == nil {
+			uri = filepath.ToSlash(rel)
+		}
+		region := sarifRegion{StartLine: pos.Line, StartColumn: pos.Column}
+		if d.End.IsValid() {
+			end := fset.Position(d.End)
+			region.EndLine = end.Line
+			region.EndColumn = end.Column
+		}
+		level := "error"
+		if _, ok := advisory[d.Analyzer]; ok {
+			level = "note"
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     level,
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           region,
+				},
+			}},
+		})
+	}
+
+	return &SARIFLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hbspk-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// WriteSARIF encodes the log as indented JSON.
+func (l *SARIFLog) WriteSARIF(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -34,8 +34,16 @@ var SyncFlow = &Analyzer{
 }
 
 func runSyncFlow(pass *Pass) error {
-	g := buildCallGraph(pass)
-	facts := staleParamFacts(pass, g)
+	g := sharedCallGraph(pass)
+	var facts map[*types.Func]map[int]bool
+	if pass.pkg != nil {
+		if pass.pkg.staleParams == nil {
+			pass.pkg.staleParams = staleParamFacts(pass, g)
+		}
+		facts = pass.pkg.staleParams
+	} else {
+		facts = staleParamFacts(pass, g)
+	}
 	for _, f := range pass.Files {
 		funcBodies(f, func(name string, body *ast.BlockStmt) {
 			checkSyncFlow(pass, g, facts, body)

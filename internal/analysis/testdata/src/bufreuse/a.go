@@ -125,3 +125,31 @@ func freshPayloadAfterSend(c Ctx) error {
 	payload[0] = 'z'
 	return nil
 }
+
+type Message struct{ Src TID }
+
+func (m Message) Release() {}
+
+// A deferred send runs after the body: packing below the defer happens
+// before the buffer is handed to the fabric, so nothing is reused.
+func deferredSendThenPack(t *Task, dst TID) {
+	buf := NewBuffer()
+	defer t.Send(dst, 1, buf)
+	buf.PackInt32(42)
+}
+
+// defer msg.Release() is cleanup, not reuse: lifetime discipline for
+// the pooled record is bufown's domain.
+func deferReleaseIsCleanup(t *Task, m Message, dst TID) error {
+	defer m.Release()
+	buf := NewBuffer().PackInt32(9)
+	return t.Send(dst, 2, buf)
+}
+
+// Two deferred sends of one buffer still resend it — the LIFO replay
+// orders the later defer first, and the earlier one doubles the send.
+func deferredDoubleSend(t *Task, dst TID) {
+	buf := NewBuffer().PackInt32(1)
+	defer t.Send(dst, 1, buf) // want `buffer "buf" resent`
+	defer t.Send(dst, 2, buf)
+}

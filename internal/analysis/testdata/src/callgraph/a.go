@@ -86,6 +86,47 @@ func afterInterfaceSync(w Worker) error {
 	return w.Send(1, 3, []byte("w")) // want `unmatched send: no Sync follows`
 }
 
+// --- value-position arguments: a synchronizing function value or
+// method value handed to a combiner-taking helper (the collective
+// argument shape) makes the passer a synchronizer — the callee may
+// invoke it, and pidtaint's alignment summaries lean on exactly this
+// edge. Asserted through the fixpoint in TestCallGraphFixpoint; the
+// sends stay undiagnosed because apply itself is not a structural
+// boundary.
+
+func apply(c Ctx, combine func(Ctx) error) error {
+	return combine(c)
+}
+
+func passesFuncValueArg(c Ctx, scope *Machine, data []byte) error {
+	if err := apply(c, syncHelper); err != nil {
+		return err
+	}
+	return c.Send(1, 5, []byte("f"))
+}
+
+type node struct{}
+
+func (node) step(c Ctx) error { return c.Sync(nil, "node-step") }
+
+func passesMethodValueArg(c Ctx, scope *Machine, data []byte) error {
+	var n node
+	if err := apply(c, n.step); err != nil {
+		return err
+	}
+	return c.Send(1, 6, []byte("m"))
+}
+
+// A pure function value passed the same way adds no synchronizing edge.
+func pureStep(c Ctx) error { return nil }
+
+func passesPureFuncValueArg(c Ctx, scope *Machine, data []byte) error {
+	if err := apply(c, pureStep); err != nil {
+		return err
+	}
+	return c.Send(1, 7, []byte("n"))
+}
+
 // --- the over-approximation is not an any-call approximation: a
 // helper with no barrier anywhere stays unmarked, so the send after it
 // is the caller-flushes pattern, not a finding.

@@ -264,7 +264,7 @@ func TestChaosStragglerDilatesChargedWork(t *testing.T) {
 // misread as a peer failure — even with noise, message fates and a
 // straggler burst active.
 func desyncProg(c Ctx) error {
-	if c.Pid() == 0 {
+	if c.Pid() == 0 { //hbspk:ignore pidtaint (deliberate desync: the program under test must be diagnosed as ErrDesync)
 		return nil // exits without syncing; the others wait forever
 	}
 	for s := 0; s < 2; s++ {

@@ -946,25 +946,35 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	c.inbox = c.inbox[:0]
 	c.inmeta = c.inmeta[:0]
 	recvBytes := 0
+	// A malformed frame aborts the superstep, but the rest of the
+	// drained window still holds pooled wire records: hand the
+	// remainder (current message included) back to the arena before
+	// surfacing the error.
+	releaseRest := func(rest []pvm.Message, err error) error {
+		for _, m := range rest {
+			m.Release()
+		}
+		return err
+	}
 	msgs := c.task.TryRecvAll(pvm.AnySource, c.wireTag(scope, gen, 0))
 	slabCap := 0
 	for _, m := range msgs {
 		slabCap += m.Len()
 	}
 	slab := make([]byte, 0, slabCap)
-	for _, m := range msgs {
+	for i, m := range msgs {
 		b := m.Buffer()
 		src, err := b.UnpackInt32()
 		if err != nil {
-			return err
+			return releaseRest(msgs[i:], err)
 		}
 		tag, err := b.UnpackInt32()
 		if err != nil {
-			return err
+			return releaseRest(msgs[i:], err)
 		}
 		payload, err := b.UnpackBytes()
 		if err != nil {
-			return err
+			return releaseRest(msgs[i:], err)
 		}
 		// slabCap over-covers the framing, so these appends never
 		// reallocate and earlier windows' slices stay intact.
@@ -973,11 +983,11 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 		if c.eng.Verify {
 			sum, err := b.UnpackInt64()
 			if err != nil {
-				return err
+				return releaseRest(msgs[i:], err)
 			}
 			stamp, err := b.UnpackInt64Slice()
 			if err != nil {
-				return err
+				return releaseRest(msgs[i:], err)
 			}
 			c.inmeta = append(c.inmeta, msgMeta{src: int(src), tag: int(tag),
 				stamp: decodeVClock(stamp), sum: uint64(sum)})

@@ -31,7 +31,7 @@ func TestConcurrentDesyncExitedMember(t *testing.T) {
 
 	start := time.Now()
 	_, err := eng.Run(func(ctx Ctx) error {
-		if ctx.Pid() == 1 {
+		if ctx.Pid() == 1 { //hbspk:ignore pidtaint (deliberate desync under test)
 			return nil // p1 exits without ever syncing
 		}
 		return ctx.Sync(tree.Root, "step")
@@ -63,14 +63,14 @@ func TestConcurrentDesyncStalledBarriers(t *testing.T) {
 
 	_, err := eng.Run(func(ctx Ctx) error {
 		// Deliberate desync under test: every Sync below is pid-divergent.
-		if ctx.Pid() == 0 {
+		if ctx.Pid() == 0 { //hbspk:ignore pidtaint (deliberate desync under test)
 			if err := ctx.Sync(scopeA, "inner"); err != nil { //hbspk:ignore syncdiscipline
 				return err
 			}
 			// p1 never joins this second inner sync.
 			return ctx.Sync(scopeA, "inner-again") //hbspk:ignore syncdiscipline
 		}
-		if ctx.Pid() == 1 {
+		if ctx.Pid() == 1 { //hbspk:ignore pidtaint (deliberate desync under test)
 			if err := ctx.Sync(scopeA, "inner"); err != nil { //hbspk:ignore syncdiscipline
 				return err
 			}

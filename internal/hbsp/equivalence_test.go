@@ -51,7 +51,7 @@ func runSchedule(t *testing.T, tr *model.Tree, plan [][][]schedItem,
 	digests := make([][]byte, p)
 	err := run(func(c Ctx) error {
 		var digest []byte
-		for r := range plan[c.Pid()] {
+		for r := range plan[c.Pid()] { //hbspk:ignore pidtaint (every pid's plan has the same round count by construction)
 			for mi, item := range plan[c.Pid()][r] {
 				payload := bytes.Repeat([]byte{byte(c.Pid()*17 + r*3 + mi)}, item.size)
 				if err := c.Send(item.dst, item.tag, payload); err != nil {

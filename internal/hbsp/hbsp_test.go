@@ -246,7 +246,7 @@ func TestSelfSendDeliveredButFree(t *testing.T) {
 func TestDesyncDetected(t *testing.T) {
 	tr := model.UCFTestbedN(2)
 	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
-		if c.Pid() == 0 {
+		if c.Pid() == 0 { //hbspk:ignore pidtaint (deliberate desync under test)
 			return SyncAll(c, "s") //hbspk:ignore syncdiscipline (deliberate desync under test)
 		}
 		return nil
@@ -261,7 +261,7 @@ func TestMismatchedScopesDetected(t *testing.T) {
 	b := model.NewCluster("B", []*model.Machine{model.NewLeaf("b0"), model.NewLeaf("b1")}, model.WithSync(1))
 	tr := model.MustNew(model.NewCluster("top", []*model.Machine{a, b}, model.WithSync(1)), 1).Normalize()
 	_, err := RunVirtual(tr, fabric.PureModel(), func(c Ctx) error {
-		if c.Pid() == 0 {
+		if c.Pid() == 0 { //hbspk:ignore pidtaint (deliberate desync under test)
 			return SyncAll(c, "global") //hbspk:ignore syncdiscipline (deliberate desync under test)
 		}
 		return c.Sync(c.Tree().ScopeAt(c.Self(), 1), "local")

@@ -93,11 +93,12 @@ func runSendRecvBench(b *testing.B, size int) {
 				done <- err
 				return err
 			}
-			if _, err := m.Buffer().UnpackBytes(); err != nil {
+			_, err = m.Buffer().UnpackBytes()
+			m.Release()
+			if err != nil {
 				done <- err
 				return err
 			}
-			m.Release()
 			if (i+1)%benchWindow == 0 {
 				if err := sendCredit(t, sendTID); err != nil {
 					done <- err

@@ -104,9 +104,11 @@ func TestGroupLookupsAndMcast(t *testing.T) {
 					return err
 				}
 			} else {
-				if _, err := tk.Recv(AnySource, 7); err != nil {
+				m, err := tk.Recv(AnySource, 7)
+				if err != nil {
 					return err
 				}
+				m.Release()
 				mu.Lock()
 				recv[i]++
 				mu.Unlock()
@@ -163,9 +165,11 @@ func TestProbeDoesNotConsume(t *testing.T) {
 		if tk.Probe(AnySource, 5) {
 			return errors.New("probe matched wrong tag")
 		}
-		if _, ok := tk.TryRecv(AnySource, 4); !ok {
+		m, ok := tk.TryRecv(AnySource, 4)
+		if !ok {
 			return errors.New("message gone after probes")
 		}
+		m.Release()
 		return nil
 	})
 	if err := s.Wait(); err != nil {

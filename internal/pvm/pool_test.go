@@ -313,6 +313,7 @@ func TestMcastSharesOneWire(t *testing.T) {
 				errs <- err
 				return err
 			}
+			defer m.Release()
 			got, err := m.Buffer().UnpackString()
 			if err != nil {
 				errs <- err
@@ -323,7 +324,6 @@ func TestMcastSharesOneWire(t *testing.T) {
 				errs <- err
 				return err
 			}
-			m.Release()
 			return nil
 		})
 	}
@@ -361,7 +361,7 @@ func TestReleaseTwicePanics(t *testing.T) {
 				done <- nil
 			}
 		}()
-		m.Release()
+		m.Release() //hbspk:ignore bufown (the test asserts the second Release panics)
 		return nil
 	})
 	s.Spawn("send", func(t *Task) error {

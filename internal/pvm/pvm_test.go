@@ -109,6 +109,7 @@ func TestSendRecv(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		defer m.Release()
 		v, err := m.Buffer().UnpackInt32()
 		if err != nil {
 			return err
@@ -176,6 +177,7 @@ func TestPerSenderOrderPreserved(t *testing.T) {
 				return err
 			}
 			v, err := m.Buffer().UnpackInt32()
+			m.Release()
 			if err != nil {
 				return err
 			}
@@ -219,9 +221,11 @@ func TestMcastSkipsSelf(t *testing.T) {
 				}
 				return nil
 			}
-			if _, err := t.Recv(tids[0], 9); err != nil {
+			m, err := t.Recv(tids[0], 9)
+			if err != nil {
 				return err
 			}
+			m.Release()
 			mu.Lock()
 			counts[t.TID()]++
 			mu.Unlock()
@@ -405,13 +409,15 @@ func TestPanicIsCollected(t *testing.T) {
 func TestTryRecv(t *testing.T) {
 	s := NewSystem()
 	s.Spawn("t", func(t *Task) error {
-		if _, ok := t.TryRecv(AnySource, AnyTag); ok {
+		if m, ok := t.TryRecv(AnySource, AnyTag); ok {
+			m.Release()
 			return errors.New("TryRecv matched on empty mailbox")
 		}
 		if err := t.Send(t.TID(), 3, NewBuffer().PackInt32(1)); err != nil {
 			return err
 		}
-		if _, ok := t.TryRecv(AnySource, 4); ok {
+		if m, ok := t.TryRecv(AnySource, 4); ok {
+			m.Release()
 			return errors.New("TryRecv matched wrong tag")
 		}
 		if m, ok := t.TryRecv(AnySource, 3); !ok || m.Tag != 3 {

@@ -43,6 +43,7 @@ func TestRecvTimeoutDeliversEarlyMessage(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		defer m.Release()
 		v, err := m.Buffer().UnpackInt32()
 		if err != nil {
 			return err
@@ -66,8 +67,9 @@ func TestRecvContextCanceled(t *testing.T) {
 		cancel()
 	}()
 	sys.Spawn("waiter", func(task *Task) error {
-		_, err := task.RecvContext(ctx, AnySource, 1)
+		m, err := task.RecvContext(ctx, AnySource, 1)
 		if err == nil {
+			m.Release()
 			return fmt.Errorf("recv returned without a message")
 		}
 		if !errors.Is(err, context.Canceled) {
