@@ -61,6 +61,14 @@ verify:
 # the pre-PR4 baseline, and the observability-off send path
 # (BenchmarkSendRecvObsvOff) stays within 5% of BenchmarkSendRecv on
 # ns/op and allocs/op in the same run.
+#
+# The planner stanza emits BENCH_PR9.json with two gates: across the
+# payload-size × tree sweep the auto-tuned planner's modeled cost stays
+# within 0.1% of the best fixed variant per cell (so it beats every
+# fixed-variant baseline), and the planner-dispatched broadcast stays
+# within 5% of a direct invocation of the same variant on paired
+# dispatch-overhead and allocations. -min-pairs pins the grid size so
+# the gate cannot silently shrink.
 BENCHTIME ?= 5000x
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./internal/pvm/ | tee bench/pvm.txt
@@ -76,6 +84,13 @@ bench:
 		-max-metric-rel 'BenchmarkReorgMakespan/reorg=BenchmarkReorgMakespan/frozen:model-cost:0.9' \
 		-o BENCH_PR7.json bench/reorg.txt
 	@echo wrote BENCH_PR7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPlannerSweep|BenchmarkPlannedDispatch|BenchmarkDirectDispatch|BenchmarkDecideHit' \
+		-benchtime 1x ./internal/plan/ | tee bench/planner.txt
+	$(GO) run ./cmd/hbspk-benchjson \
+		-max-metric-rel 'BenchmarkPlannerSweep/planner=BenchmarkPlannerSweep/fixedbest:model-cost:1.001,BenchmarkPlannedDispatch=BenchmarkDirectDispatch:dispatch-overhead:1.05,BenchmarkPlannedDispatch=BenchmarkDirectDispatch:dispatch-allocs:1.05' \
+		-min-pairs 26 \
+		-o BENCH_PR9.json bench/planner.txt
+	@echo wrote BENCH_PR9.json
 
 # cover enforces the coverage floor: total statement coverage must not
 # drop below bench/coverage_baseline.txt (percent, one line). The

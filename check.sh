@@ -94,6 +94,25 @@ go run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
 go run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
 go run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
 
+# Auto-tuned planner smoke (DESIGN.md §5.9): the planner benchmarks run
+# through the same hbspk-benchjson gates make bench enforces — planner
+# within 0.1% of the per-cell best fixed variant on modeled cost, cached
+# dispatch within 5% of a direct call — plus one hbspk-sim auto run, all
+# inside a 30s wall-time budget.
+start=$(date +%s)
+plantmp=$(mktemp -d)
+go test -run '^$' -bench 'BenchmarkPlannerSweep|BenchmarkPlannedDispatch|BenchmarkDirectDispatch|BenchmarkDecideHit' \
+	-benchtime 1x ./internal/plan/ >"$plantmp/planner.txt"
+go run ./cmd/hbspk-benchjson \
+	-max-metric-rel 'BenchmarkPlannerSweep/planner=BenchmarkPlannerSweep/fixedbest:model-cost:1.001,BenchmarkPlannedDispatch=BenchmarkDirectDispatch:dispatch-overhead:1.05,BenchmarkPlannedDispatch=BenchmarkDirectDispatch:dispatch-allocs:1.05' \
+	-min-pairs 26 \
+	-o "$plantmp/planner.json" "$plantmp/planner.txt"
+go run ./cmd/hbspk-sim -machine ucf -collective auto -n 200000 -rounds 4 -pure >/dev/null
+rm -rf "$plantmp"
+elapsed=$(( $(date +%s) - start ))
+echo "planner smoke wall time: ${elapsed}s (budget 30s)"
+[ "$elapsed" -le 30 ]
+
 # Coverage floor: total statement coverage must not drop below the
 # baseline recorded in bench/coverage_baseline.txt.
 coverout=$(mktemp)

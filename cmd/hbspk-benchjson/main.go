@@ -172,6 +172,8 @@ func main() {
 		"fail unless every benchmark with prefix stays within factor of its in-run partner on ns/op and allocs/op (comma-separated prefix=basePrefix:factor clauses)")
 	maxMetricRel := flag.String("max-metric-rel", "",
 		"fail unless every benchmark with prefix keeps the custom metric unit within factor of its in-run partner's (comma-separated prefix=basePrefix:unit:factor clauses)")
+	minPairs := flag.Int("min-pairs", 0,
+		"fail unless the -max-rel/-max-metric-rel gates matched at least this many benchmark pairs in total (guards against a grid silently shrinking out from under the gate)")
 	flag.Parse()
 
 	rep := Report{Env: map[string]string{}}
@@ -218,6 +220,11 @@ func main() {
 		if err := checkMetricRelGate(&rep, *maxMetricRel); err != nil && relErr == nil {
 			relErr = err
 		}
+	}
+	// A relative gate that pairs nothing passes vacuously; -min-pairs
+	// turns a shrunken grid into a failure instead.
+	if pairs := len(rep.Relatives) + len(rep.MetricRelatives); *minPairs > 0 && pairs < *minPairs && relErr == nil {
+		relErr = fmt.Errorf("relative gates matched %d benchmark pairs, need >= %d", pairs, *minPairs)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -8,6 +8,12 @@
 //	hbspk-sim -machine grid -collective allreduce -timeline-width 120
 //	hbspk-sim -machine cluster.json -collective bcast-hier -pure
 //
+// Auto-tuning: -collective auto runs an iterative mixed workload whose
+// every collective is dispatched through the planner (DESIGN.md §5.9) —
+// the run report is followed by the decision cache and planner counters:
+//
+//	hbspk-sim -machine ucf -collective auto -n 200000 -rounds 6
+//
 // Fault injection: a chaos plan crash-stops processors and perturbs
 // messages, and the ft-* collectives survive it:
 //
@@ -48,6 +54,7 @@ import (
 	"hbspk/internal/hbsp"
 	"hbspk/internal/model"
 	"hbspk/internal/obsv"
+	"hbspk/internal/plan"
 )
 
 func loadMachine(name string) (*model.Tree, error) {
@@ -158,7 +165,7 @@ func parseCrashes(spec string) ([]fabric.Crash, error) {
 func main() {
 	machine := flag.String("machine", "figure1", "preset (ucf, figure1, grid, chain) or JSON spec path")
 	coll := flag.String("collective", "gather-hier",
-		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, ft-gather, ft-bcast, ft-reduce, ft-allreduce, churn-soak, nondet-reduce, mutate-send")
+		"gather, gather-hier, scatter-hier, bcast1, bcast2, bcast-hier, allgather, allgather-hier, reduce-hier, allreduce, scan-hier, alltoall, auto, ft-gather, ft-bcast, ft-reduce, ft-allreduce, churn-soak, nondet-reduce, mutate-send")
 	n := flag.Int("n", 400000, "problem size in bytes")
 	pure := flag.Bool("pure", false, "pure cost model instead of PVM overheads")
 	width := flag.Int("timeline-width", 100, "timeline width in columns")
@@ -218,9 +225,9 @@ func main() {
 	if err != nil {
 		fail(2, err)
 	}
-	var plan *fabric.ChaosPlan
+	var chaos *fabric.ChaosPlan
 	if len(crashes) > 0 || len(churns) > 0 || len(stragglers) > 0 || *drop > 0 || *dup > 0 || *delay > 0 {
-		plan = &fabric.ChaosPlan{
+		chaos = &fabric.ChaosPlan{
 			Seed:       *chaosSeed,
 			Crashes:    crashes,
 			Churns:     churns,
@@ -232,12 +239,22 @@ func main() {
 		}
 	}
 
-	prog, err := program(tr, *coll, *n, *rounds)
+	// The auto collective dispatches through the planner; wiring it as
+	// the engine's plan hook lets refinements commit at quiescent points
+	// and reorg/churn cuts invalidate stale picks.
+	var planner *plan.Planner
+	if *coll == "auto" {
+		planner = plan.New()
+	}
+	prog, err := program(tr, *coll, *n, *rounds, planner)
 	if err != nil {
 		fail(2, err)
 	}
 	eng := hbsp.NewVirtual(tr, fabric.New(tr, cfg))
-	eng.Chaos = plan
+	eng.Chaos = chaos
+	if planner != nil {
+		eng.Plan = planner
+	}
 	eng.DetectFactor = *detect
 	eng.Verify = *verify
 	eng.ReorgEvery = *reorgEvery
@@ -295,6 +312,16 @@ func main() {
 	fmt.Print(rep.String())
 	fmt.Println()
 	fmt.Print(rep.Timeline(*width))
+	if planner != nil {
+		fmt.Println()
+		fmt.Println("planner decisions (auto-tuned picks, corrected model cost):")
+		for _, d := range planner.Decisions() {
+			fmt.Printf("  %s\n", d)
+		}
+		st := planner.Stats()
+		fmt.Printf("planner stats: %d hits, %d misses, %d observations, %d commits, %d flips, %d evictions\n",
+			st.Hits, st.Misses, st.Observations, st.Commits, st.Flips, st.Evictions)
+	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -342,34 +369,40 @@ func writeTo(path string, fn func(io.Writer) error) {
 	}
 }
 
-// closedForm returns the analytic cost.Breakdown for collectives with
-// a closed-form model, matching the distributions program() uses.
-func closedForm(tr *model.Tree, coll string, n int) (cost.Breakdown, bool) {
-	rootPid := tr.Pid(tr.FastestLeaf())
-	d := cost.BalancedDist(tr, n)
-	switch coll {
-	case "gather":
-		return cost.GatherFlat(tr, rootPid, d), true
-	case "gather-hier":
-		return cost.GatherHier(tr, d), true
-	case "scatter-hier":
-		return cost.ScatterHier(tr, d), true
-	case "bcast1":
-		return cost.BcastOnePhaseFlat(tr, rootPid, n), true
-	case "bcast2":
-		return cost.BcastTwoPhaseFlat(tr, rootPid, d), true
-	case "bcast-hier":
-		return cost.BcastHier(tr, n, false), true
-	case "allgather":
-		return cost.AllGatherFlat(tr, d), true
-	case "allgather-hier":
-		return cost.AllGatherHierCost(tr, d), true
-	}
-	return cost.Breakdown{}, false
+// collVariant maps the CLI collective names with a closed-form model to
+// their entrypoint names in the shared plan cost table — the same hooks
+// the static analyzers and the runtime planner price from, so the sim's
+// closed-form column can never drift from theirs.
+var collVariant = map[string]string{
+	"gather":         "Gather",
+	"gather-hier":    "GatherHier",
+	"scatter-hier":   "ScatterHier",
+	"bcast1":         "BcastOnePhase",
+	"bcast2":         "BcastTwoPhase",
+	"bcast-hier":     "BcastHier",
+	"allgather":      "AllGather",
+	"allgather-hier": "AllGatherHier",
 }
 
-// program builds the SPMD body for the chosen collective.
-func program(tr *model.Tree, coll string, n, rounds int) (hbsp.Program, error) {
+// closedForm returns the analytic cost.Breakdown for collectives with
+// a closed-form model, via the shared variant table (whose callsite
+// conventions — fastest-leaf root, balanced distributions — match the
+// programs program() builds).
+func closedForm(tr *model.Tree, coll string, n int) (cost.Breakdown, bool) {
+	name, ok := collVariant[coll]
+	if !ok {
+		return cost.Breakdown{}, false
+	}
+	v, ok := plan.VariantByName(name)
+	if !ok {
+		return cost.Breakdown{}, false
+	}
+	return v.Cost(tr, n), true
+}
+
+// program builds the SPMD body for the chosen collective. pl is the
+// auto-tuning planner, non-nil only for the auto collective.
+func program(tr *model.Tree, coll string, n, rounds int, pl *plan.Planner) (hbsp.Program, error) {
 	rootPid := tr.Pid(tr.FastestLeaf())
 	balanced := cost.BalancedDist(tr, n)
 	vecLen := n / 8 / tr.NProcs()
@@ -506,6 +539,34 @@ func program(tr *model.Tree, coll string, n, rounds int) (hbsp.Program, error) {
 			}
 			_, err := collective.TotalExchange(c, c.Tree().Root, out)
 			return err
+		}, nil
+	case "auto":
+		// An iterative mixed workload dispatched entirely through the
+		// auto-tuning planner: each round broadcasts from the fastest
+		// leaf, gathers back, folds a vector and prefix-scans it. The
+		// planner picks each family's variant from the corrected cost
+		// table; observations feed back between rounds, so a closed-form
+		// misordering is corrected while the run is still going.
+		return func(c hbsp.Ctx) error {
+			for r := 0; r < rounds; r++ {
+				var data []byte
+				if c.Pid() == rootPid {
+					data = make([]byte, n)
+				}
+				if _, err := collective.PlannedBcast(c, pl, n, data); err != nil {
+					return err
+				}
+				if _, err := collective.PlannedGather(c, pl, n, make([]byte, balanced[c.Pid()])); err != nil {
+					return err
+				}
+				if _, err := collective.PlannedAllReduce(c, pl, make([]int64, vecLen), collective.Sum); err != nil {
+					return err
+				}
+				if _, err := collective.PlannedScan(c, pl, make([]int64, vecLen), collective.Sum); err != nil {
+					return err
+				}
+			}
+			return nil
 		}, nil
 	case "churn-soak":
 		// A self-synchronizing iterative workload built to survive

@@ -64,7 +64,7 @@ import (
 	"strings"
 
 	"hbspk/internal/analysis"
-	"hbspk/internal/collective"
+	"hbspk/internal/plan"
 	"hbspk/internal/model"
 	"hbspk/internal/obsv"
 )
@@ -349,7 +349,7 @@ func printCostBounds(pkgs []*analysis.Package, moduleDir string, tree *model.Tre
 	}
 	if tree != nil {
 		fmt.Printf("\nvariant switchpoints on this tree (payloads 16 B .. 16 MB):\n")
-		rows := collective.SwitchpointTable(tree, 16, 16<<20)
+		rows := plan.SwitchpointTable(tree, 16, 16<<20)
 		if len(rows) == 0 {
 			fmt.Println("  none: each family's cheapest variant never changes in range")
 		}

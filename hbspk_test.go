@@ -183,3 +183,45 @@ func specOf(t *testing.T, tree *Tree) *MachineSpec {
 	}
 	return spec
 }
+
+func TestPublicPlannedCollectives(t *testing.T) {
+	tr := UCFTestbed()
+	pl := NewPlanner()
+	root := tr.Pid(tr.FastestLeaf())
+	data := bytes.Repeat([]byte{42}, 4096)
+	rep, err := RunPlanned(tr, PureModelFabric(), pl, func(c Ctx) error {
+		var in []byte
+		if c.Pid() == root {
+			in = data
+		}
+		out, err := PlannedBcast(c, pl, len(data), in)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(out, data) {
+			t.Errorf("pid %d: planned bcast wrong data", c.Pid())
+		}
+		sum, err := PlannedAllReduce(c, pl, []int64{int64(c.Pid()), 1}, SumOp)
+		if err != nil {
+			return err
+		}
+		p := int64(c.NProcs())
+		if want := p * (p - 1) / 2; sum[0] != want || sum[1] != p {
+			t.Errorf("pid %d: planned allreduce = %v", c.Pid(), sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 {
+		t.Error("no virtual time charged")
+	}
+	st := pl.Stats()
+	if st.Misses != 2 || st.Hits == 0 {
+		t.Errorf("planner stats = %+v, want 2 misses and some hits", st)
+	}
+	if len(pl.Decisions()) != 2 {
+		t.Errorf("decision cache = %v", pl.Decisions())
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"strings"
 
-	"hbspk/internal/collective"
+	"hbspk/internal/plan"
 	"hbspk/internal/model"
 )
 
@@ -226,7 +226,7 @@ func (e *Expr) Eval(env *CostEnv) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		v, ok := collective.VariantByName(e.Name)
+		v, ok := plan.VariantByName(e.Name)
 		if !ok {
 			return 0, fmt.Errorf("no closed-form hook for collective %s", e.Name)
 		}

@@ -3,7 +3,7 @@ package analysis
 import (
 	"go/ast"
 
-	"hbspk/internal/collective"
+	"hbspk/internal/plan"
 	"hbspk/internal/model"
 )
 
@@ -48,7 +48,7 @@ func runVariantCheck(pass *Pass, tree *model.Tree, ratio float64) error {
 			if !ok {
 				return true
 			}
-			v, ok := collective.VariantByName(cf.Name)
+			v, ok := plan.VariantByName(cf.Name)
 			if !ok {
 				return true
 			}
@@ -60,7 +60,7 @@ func runVariantCheck(pass *Pass, tree *model.Tree, ratio float64) error {
 			}
 			size := int(nf)
 			called := v.Predict(tree, size)
-			best, bestCost, ok := collective.BestVariant(tree, v.Family, size)
+			best, bestCost, ok := plan.BestVariant(tree, v.Family, size)
 			if !ok || best.Name == v.Name || bestCost <= 0 {
 				return true
 			}

@@ -10,6 +10,7 @@ import (
 	"hbspk/internal/fabric"
 	"hbspk/internal/hbsp"
 	"hbspk/internal/model"
+	"hbspk/internal/plan"
 )
 
 // The property sweep: every collective in the library, run on randomized
@@ -33,6 +34,7 @@ type sweepEnv struct {
 	payloads [][]byte         // per-pid byte payloads
 	vecs     [][]int64        // per-pid reduction vectors
 	outgoing []map[int][]byte // per-src total-exchange pieces
+	pl       *plan.Planner    // shared by the planned-* cases
 }
 
 func newSweepEnv(seed int64) *sweepEnv {
@@ -51,6 +53,7 @@ func newSweepEnv(seed int64) *sweepEnv {
 		root:  rng.Intn(p),
 		op:    []Op{Sum, Max, Min}[rng.Intn(3)],
 		width: 1 + rng.Intn(6),
+		pl:    plan.New(),
 	}
 	env.sizes = make([]int, p)
 	env.payloads = make([][]byte, p)
@@ -104,6 +107,25 @@ func (env *sweepEnv) gatherOracle() map[int][]byte {
 		m[pid] = env.payloads[pid]
 	}
 	return m
+}
+
+// totalBytes is the machine-wide payload size: the uniform n the
+// planned byte collectives take.
+func (env *sweepEnv) totalBytes() int {
+	n := 0
+	for _, s := range env.sizes {
+		n += s
+	}
+	return n
+}
+
+// exchangeBytes is the machine-wide total-exchange traffic.
+func (env *sweepEnv) exchangeBytes() int {
+	n := 0
+	for _, out := range env.outgoing {
+		n += mapBytes(out)
+	}
+	return n
 }
 
 // exchangeOracle transposes outgoing: what dst must end up holding.
@@ -480,6 +502,124 @@ func sweepCases() []sweepCase {
 					}
 					checkVec(t, env, "reduce-scatter", pid, s.vs[pid], acc[off:off+sz])
 					off += sz
+				}
+			},
+		},
+		// Planner-dispatched collectives: whatever variant the planner
+		// resolves, the result must match the same sequential oracles as
+		// the fixed variants — the planner may change the HOW, never the
+		// WHAT. The planner is shared across cases and engines, so later
+		// runs exercise the cached hit path.
+		{
+			name: "planned-bcast",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				var in []byte
+				if c.Self() == c.Tree().FastestLeaf() {
+					in = env.payloads[0]
+				}
+				out, err := PlannedBcast(c, env.pl, env.sizes[0], in)
+				s.setB(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				for pid := 0; pid < env.p; pid++ {
+					checkBytes(t, env, "planned-bcast", pid, s.bs[pid], env.payloads[0])
+				}
+			},
+		},
+		{
+			name: "planned-gather",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				out, err := PlannedGather(c, env.pl, env.totalBytes(), env.payloads[c.Pid()])
+				s.setM(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				root := env.tr.Pid(env.tr.FastestLeaf())
+				checkMap(t, env, "planned-gather", root, s.ms[root], env.gatherOracle())
+			},
+		},
+		{
+			name: "planned-scatter",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				var pieces map[int][]byte
+				if c.Self() == c.Tree().FastestLeaf() {
+					pieces = env.gatherOracle()
+				}
+				out, err := PlannedScatter(c, env.pl, env.totalBytes(), pieces)
+				s.setB(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				for pid := 0; pid < env.p; pid++ {
+					checkBytes(t, env, "planned-scatter", pid, s.bs[pid], env.payloads[pid])
+				}
+			},
+		},
+		{
+			name: "planned-all-gather",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				out, err := PlannedAllGather(c, env.pl, env.totalBytes(), env.payloads[c.Pid()])
+				s.setM(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				for pid := 0; pid < env.p; pid++ {
+					checkMap(t, env, "planned-all-gather", pid, s.ms[pid], env.gatherOracle())
+				}
+			},
+		},
+		{
+			name: "planned-reduce",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				out, err := PlannedReduce(c, env.pl, env.vecs[c.Pid()], env.op)
+				s.setV(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				root := env.tr.Pid(env.tr.FastestLeaf())
+				checkVec(t, env, "planned-reduce", root, s.vs[root], env.fold(env.allPids()))
+			},
+		},
+		{
+			name: "planned-all-reduce",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				out, err := PlannedAllReduce(c, env.pl, env.vecs[c.Pid()], env.op)
+				s.setV(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				want := env.fold(env.allPids())
+				for pid := 0; pid < env.p; pid++ {
+					checkVec(t, env, "planned-all-reduce", pid, s.vs[pid], want)
+				}
+			},
+		},
+		{
+			name: "planned-scan",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				out, err := PlannedScan(c, env.pl, env.vecs[c.Pid()], env.op)
+				s.setV(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				// The tree is freshly built, so slot order == pid order and
+				// both eligible variants yield the pid-order prefix.
+				for pid := 0; pid < env.p; pid++ {
+					checkVec(t, env, "planned-scan", pid, s.vs[pid], env.fold(env.allPids()[:pid+1]))
+				}
+			},
+		},
+		{
+			name: "planned-total-exchange",
+			run: func(c hbsp.Ctx, env *sweepEnv, s *sweepSlots) error {
+				out, err := PlannedTotalExchange(c, env.pl, env.exchangeBytes(), env.outgoing[c.Pid()])
+				s.setM(c.Pid(), out)
+				return err
+			},
+			check: func(t *testing.T, env *sweepEnv, s *sweepSlots) {
+				for pid := 0; pid < env.p; pid++ {
+					checkMap(t, env, "planned-total-exchange", pid, s.ms[pid], env.exchangeOracle(pid))
 				}
 			},
 		},

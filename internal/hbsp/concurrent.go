@@ -103,6 +103,13 @@ type Concurrent struct {
 	ReorgEvery int
 	ReorgSeed  int64
 	ReorgAlpha float64
+
+	// Plan mirrors the virtual engine's planner seam (DESIGN.md §5.9).
+	// On this engine the hook fires from the single cut applier inside
+	// a cut window — the engine's only SPMD-quiescent points — so
+	// online refinement commits at the reorg/membership cadence; set
+	// ReorgEvery to open windows on a straggler-free run.
+	Plan PlanHook
 }
 
 // defaultDesyncTimeout balances catching real deadlocks quickly against
@@ -232,6 +239,11 @@ type crun struct {
 	// reorganizations.
 	rer   *model.Reranker
 	epoch int
+
+	// planDead tracks the dead-set size last reported to the PlanHook
+	// (guarded by mu), so each death surfaces as exactly one
+	// TreeChanged at the next cut window.
+	planDead int
 }
 
 // ackScope marks exactly ONE dead member of the scope — the smallest
@@ -1172,6 +1184,11 @@ func (s *crun) applierPid(members []int) int {
 // — an opened gate's task starts reading the tree immediately.
 func (c *cctx) applyCut(R int) error {
 	e, s := c.eng, c.shared
+	var planOldFP uint64
+	planReorged := false
+	if e.Plan != nil {
+		planOldFP = e.tree.Fingerprint()
+	}
 	if e.ReorgEvery > 0 && R%e.ReorgEvery == 0 {
 		s.mu.Lock()
 		// Crash victims and leavers unwind with their error and may still
@@ -1191,6 +1208,7 @@ func (c *cctx) applyCut(R int) error {
 		if err := e.tree.Reorganize(plan); err != nil {
 			return err
 		}
+		planReorged = true
 		e.Obsv.Reorg(epoch, plan.Moved, c.nowMicros())
 		// A rebalance can move a leaf under a scope whose members
 		// acknowledged a death or join it only saw elsewhere. Equalize the
@@ -1242,7 +1260,19 @@ func (c *cctx) applyCut(R int) error {
 		s.joinGens[pid] = snap
 		gates = append(gates, s.gates[pid])
 	}
+	planDeadChanged := len(s.dead) != s.planDead
+	s.planDead = len(s.dead)
 	s.mu.Unlock()
+	// Plan hooks fire before the joiners' gates open: an activated
+	// joiner starts deciding immediately, and it must find the
+	// invalidated cache. All live incumbents are still parked between
+	// the cut barriers.
+	if e.Plan != nil {
+		if planReorged || len(act) > 0 || planDeadChanged {
+			e.Plan.TreeChanged(e.tree, planOldFP)
+		}
+		e.Plan.GlobalBarrier(e.tree, R)
+	}
 	for i, pid := range act {
 		e.Obsv.Chaos("join", R, pid, pid, c.nowMicros())
 		close(gates[i])

@@ -78,6 +78,14 @@ type Virtual struct {
 	// model.DefaultAlpha).
 	ReorgAlpha float64
 
+	// Plan, when set, receives the planner callbacks of DESIGN.md §5.9:
+	// GlobalBarrier after every completed root-scope barrier (the
+	// refinement-commit point) and TreeChanged after a reorg or
+	// membership change — both fired from the coordinator while all
+	// live processors are parked, so the hook may republish collective
+	// selections without desynchronizing an in-flight collective.
+	Plan PlanHook
+
 	// inboxes stages delivered messages per pid between the engine's
 	// completeStep and the owning processor's pickup after resume; the
 	// resume channel orders the handoff. inmetas carries the parallel
@@ -395,6 +403,11 @@ type runState struct {
 	rer   *model.Reranker
 	epoch int
 	reqs  chan *vrequest
+
+	// planDead tracks the dead-set size last reported to the PlanHook,
+	// so a death between two global barriers surfaces as exactly one
+	// TreeChanged (membership-epoch invalidation).
+	planDead int
 
 	// running counts live goroutines; activation at a membership cut
 	// increments it.
@@ -1178,6 +1191,11 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 		// reading the tree immediately, so nothing may mutate it after
 		// its goroutine exists. (The dormant leaf was in the tree all
 		// along; the plan covers it either way.)
+		var planOldFP uint64
+		planReorged := false
+		if v.Plan != nil {
+			planOldFP = v.tree.Fingerprint()
+		}
 		if v.ReorgEvery > 0 && st.globalSteps%v.ReorgEvery == 0 {
 			// Crash victims resumed with their error may still be unwinding
 			// user code that reads the tree; wait them out before mutating.
@@ -1189,6 +1207,7 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 					st.firstErr = rerr
 				}
 			} else {
+				planReorged = true
 				v.Obsv.Reorg(st.epoch, plan.Moved, end)
 				// A rebalance can move a leaf under a scope whose members
 				// acknowledged a death or join it only saw elsewhere.
@@ -1202,6 +1221,24 @@ func (v *Virtual) completeStep(st *runState, ctxs []*vctx, scope *model.Machine,
 				equalizeAcks(st.acked, skip)
 				equalizeAcks(st.ackedJoin, skip)
 			}
+		}
+		// Plan hooks fire before membershipCut spawns newcomers: once a
+		// joiner's goroutine exists the cut's quiescence is over, and the
+		// joiner must find the invalidated cache, not a stale one. A
+		// pending activation is itself a membership change.
+		if v.Plan != nil {
+			joins := false
+			for pid := range st.dormant {
+				if v.Chaos.JoinStep(pid) <= st.globalSteps {
+					joins = true
+					break
+				}
+			}
+			if planReorged || joins || len(st.dead) != st.planDead {
+				st.planDead = len(st.dead)
+				v.Plan.TreeChanged(v.tree, planOldFP)
+			}
+			v.Plan.GlobalBarrier(v.tree, st.globalSteps)
 		}
 		v.membershipCut(st, ctxs, end)
 	}

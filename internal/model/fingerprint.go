@@ -1,0 +1,49 @@
+package model
+
+import "math"
+
+// Fingerprint returns a 64-bit hash of everything about the tree that a
+// collective-variant decision depends on: the shape, every machine's
+// model parameters (r_{i,j}, L_{i,j}, c_{i,j}, compute slowdown and its
+// runtime estimate), the leaf→pid assignment, and g. Two trees with
+// equal fingerprints price every collective variant identically, so the
+// planner's decision cache keys on it (DESIGN.md §5.9). The value is
+// memoized alongside the rank memo and invalidated with it — index,
+// Normalize, Reorganize and RestoreLayout all change what the hash
+// covers, and all funnel through invalidateRank.
+// The warm path is lock-free: engines invalidate the memo only at
+// SPMD-quiescent points (no concurrent reader exists there), so a
+// reader that observes fpOK is guaranteed a fingerprint of the tree
+// state it is running against.
+func (t *Tree) Fingerprint() uint64 {
+	if t.fpOK.Load() {
+		return t.fp.Load()
+	}
+	t.rankMu.Lock()
+	defer t.rankMu.Unlock()
+	if t.fpOK.Load() {
+		return t.fp.Load()
+	}
+	h := uint64(0x243f6a8885a308d3) // pi fraction: an arbitrary non-zero seed
+	mix := func(v uint64) { h = reorgMix(h ^ v) }
+	mix(math.Float64bits(t.G))
+	var walk func(m *Machine)
+	walk = func(m *Machine) {
+		mix(uint64(len(m.Children)))
+		mix(math.Float64bits(m.CommSlowdown))
+		mix(math.Float64bits(m.CompSlowdown))
+		mix(math.Float64bits(m.EstComp))
+		mix(math.Float64bits(m.SyncCost))
+		mix(math.Float64bits(m.Share))
+		if m.IsLeaf() {
+			mix(uint64(t.pids[m]))
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	t.fp.Store(h)
+	t.fpOK.Store(true)
+	return h
+}

@@ -1,0 +1,74 @@
+package model
+
+import "testing"
+
+func TestFingerprintDeterministicAndMemoized(t *testing.T) {
+	a := UCFTestbed()
+	b := UCFTestbed()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal trees hash differently: %016x vs %016x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatalf("fingerprint not stable across calls")
+	}
+	if Figure1Cluster().Fingerprint() == a.Fingerprint() {
+		t.Fatalf("distinct trees collide")
+	}
+}
+
+func TestFingerprintSensitiveToParams(t *testing.T) {
+	base := UCFTestbed().Fingerprint()
+
+	mut := UCFTestbed()
+	mut.G = mut.G * 2
+	if mut.Fingerprint() == base {
+		t.Fatalf("fingerprint ignores G")
+	}
+
+	mut = UCFTestbed()
+	mut.Root.Children[0].CommSlowdown *= 3
+	if mut.Fingerprint() == base {
+		t.Fatalf("fingerprint ignores CommSlowdown")
+	}
+
+	mut = UCFTestbed()
+	lf := mut.FastestLeaf()
+	lf.CompSlowdown *= 5
+	if mut.Fingerprint() == base {
+		t.Fatalf("fingerprint ignores CompSlowdown")
+	}
+}
+
+// A reorganization that permutes leaves across slots must change the
+// fingerprint, and restoring the saved layout must restore it — the
+// planner's cache keying depends on exactly this round trip.
+func TestFingerprintTracksReorgAndRestore(t *testing.T) {
+	tr := UCFTestbed()
+	saved := tr.SaveLayout()
+	base := tr.Fingerprint()
+
+	// Skewed estimates force a non-identity permutation: make pid 0
+	// look far slower than everyone else.
+	est := make([]float64, tr.NProcs())
+	for pid := range est {
+		est[pid] = 1
+	}
+	est[0] = 100
+	plan := PlanReorg(tr, est, 42, 1)
+	if err := tr.Reorganize(plan); err != nil {
+		t.Fatalf("Reorganize: %v", err)
+	}
+	if plan.Moved == 0 {
+		t.Fatalf("plan moved no leaves; estimates not skewed enough")
+	}
+	after := tr.Fingerprint()
+	if after == base {
+		t.Fatalf("fingerprint unchanged by leaf-permuting reorg")
+	}
+
+	tr.RestoreLayout(saved)
+	if got := tr.Fingerprint(); got != base {
+		t.Fatalf("restore did not restore fingerprint: %016x vs %016x", got, base)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Tolerance for floating-point invariant checks (share sums, unit
@@ -36,6 +37,16 @@ type Tree struct {
 	rankMu sync.Mutex
 	ranked []*Machine
 	rankOf map[*Machine]int
+
+	// Memoized Fingerprint: computed under rankMu and invalidated
+	// together with the ranking (both are pure functions of the same
+	// tree state), but read lock-free — the planner's decision-cache
+	// hit path loads it on every collective dispatch, so a warm read
+	// must not contend on the mutex. fpOK is the publication flag:
+	// stored last (release) after fp, loaded first (acquire) by
+	// readers.
+	fp   atomic.Uint64
+	fpOK atomic.Bool
 }
 
 // New builds a Tree from a machine hierarchy and bandwidth indicator g,
@@ -114,11 +125,12 @@ func (t *Tree) index() {
 	}
 }
 
-// invalidateRank drops the memoized ranking; the next RankedLeaves or
-// Rank call rebuilds it.
+// invalidateRank drops the memoized ranking and fingerprint; the next
+// RankedLeaves, Rank or Fingerprint call rebuilds them.
 func (t *Tree) invalidateRank() {
 	t.rankMu.Lock()
 	t.ranked, t.rankOf = nil, nil
+	t.fpOK.Store(false)
 	t.rankMu.Unlock()
 }
 

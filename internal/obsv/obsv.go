@@ -48,6 +48,10 @@ const (
 	// KindReorg is one barrier-time tree reorganization: Step carries
 	// the reorg epoch, Src the number of leaves that changed slots.
 	KindReorg
+	// KindPick is one planner variant selection (DESIGN.md §5.9): Name
+	// carries "family->Variant", Bytes the payload size the decision
+	// was made for, Pred the corrected model cost that won.
+	KindPick
 )
 
 // String returns the kind's wire name (used by every exporter).
@@ -65,6 +69,8 @@ func (k Kind) String() string {
 		return "chaos"
 	case KindReorg:
 		return "reorg"
+	case KindPick:
+		return "pick"
 	}
 	return "unknown"
 }

@@ -237,6 +237,23 @@ func (r *Recorder) Reorg(epoch, moved int, at float64) {
 	})
 }
 
+// Pick records one planner variant selection: the auto-tuned
+// dispatcher chose variant for the family at n payload bytes, at
+// corrected model cost pred. The observing processor emits it once per
+// decision-cache miss, so a run's pick history reads directly off the
+// event stream.
+func (r *Recorder) Pick(family, variant string, pid int, n int64, pred, at float64) {
+	if r == nil {
+		return
+	}
+	r.metrics.Counter("hbspk_planner_picks_total", "family", family, "variant", variant).Inc()
+	r.ring.put(Event{
+		Kind: KindPick, Step: -1, Pid: int32(pid), Src: -1, Dst: -1, Tag: -1,
+		Bytes: n, Start: at, End: at, Pred: pred,
+		Name: family + "->" + variant,
+	})
+}
+
 // MailboxDepth records the staged depth of a mailbox at delivery time.
 // Part of pvm's structural Observer interface.
 func (r *Recorder) MailboxDepth(depth int) {

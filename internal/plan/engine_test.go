@@ -1,0 +1,263 @@
+package plan_test
+
+// Engine-level planner tests: the auto-tuned dispatchers under real
+// runs on both engines — deterministic picks under equal seeds, cache
+// invalidation when the tree reorganizes underneath a live planner,
+// and invalidation when the membership epoch changes on a crash.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hbspk/internal/collective"
+	"hbspk/internal/fabric"
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/plan"
+)
+
+// planSweepProg exercises one planned collective per family group at
+// several payload buckets and checks every result against its known
+// value, so a planner that desynchronized the variant choice across
+// processors fails loudly instead of silently.
+func planSweepProg(pl *plan.Planner) hbsp.Program {
+	return func(c hbsp.Ctx) error {
+		t := c.Tree()
+		p := c.NProcs()
+		for _, n := range []int{512, 1 << 14, 1 << 19} {
+			root := t.Pid(t.FastestLeaf())
+			var data []byte
+			if c.Pid() == root {
+				data = bytes.Repeat([]byte{0xAB}, n)
+			}
+			out, err := collective.PlannedBcast(c, pl, n, data)
+			if err != nil {
+				return err
+			}
+			if len(out) != n || out[0] != 0xAB || out[n-1] != 0xAB {
+				return fmt.Errorf("p%d: bcast(%d) corrupted", c.Pid(), n)
+			}
+		}
+		local := bytes.Repeat([]byte{byte(c.Pid())}, 64)
+		gathered, err := collective.PlannedGather(c, pl, 64*p, local)
+		if err != nil {
+			return err
+		}
+		if c.Pid() == t.Pid(t.FastestLeaf()) {
+			for pid := 0; pid < p; pid++ {
+				if len(gathered[pid]) != 64 || gathered[pid][0] != byte(pid) {
+					return fmt.Errorf("gather: piece %d corrupted", pid)
+				}
+			}
+		}
+		vec := []int64{int64(c.Pid() + 1), 10}
+		sum, err := collective.PlannedAllReduce(c, pl, vec, collective.Sum)
+		if err != nil {
+			return err
+		}
+		want := int64(p * (p + 1) / 2)
+		if sum[0] != want || sum[1] != int64(10*p) {
+			return fmt.Errorf("p%d: allreduce = %v, want [%d %d]", c.Pid(), sum, want, 10*p)
+		}
+		pre, err := collective.PlannedScan(c, pl, []int64{int64(c.Pid() + 1)}, collective.Sum)
+		if err != nil {
+			return err
+		}
+		wantPre := int64((c.Pid() + 1) * (c.Pid() + 2) / 2)
+		if pre[0] != wantPre {
+			return fmt.Errorf("p%d: scan = %v, want %d", c.Pid(), pre, wantPre)
+		}
+		return nil
+	}
+}
+
+// Equal seeds must give equal pick trajectories: on the deterministic
+// virtual engine the entire refinement loop — measured spans,
+// corrections, flips — is a pure function of the seed, so two runs
+// with fresh planners end in identical decision caches and counters.
+func TestPlannedPicksDeterministicVirtual(t *testing.T) {
+	tr := model.UCFTestbedN(8)
+	layout := tr.SaveLayout()
+	run := func() (*plan.Planner, error) {
+		tr.RestoreLayout(layout)
+		pl := plan.New()
+		eng := hbsp.NewVirtual(tr, fabric.New(tr, fabric.PureModel()))
+		eng.Plan = pl
+		_, err := eng.Run(planSweepProg(pl))
+		return pl, err
+	}
+	pl1, err := run()
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	pl2, err := run()
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !reflect.DeepEqual(pl1.Decisions(), pl2.Decisions()) {
+		t.Errorf("same seed, different decision caches:\n%v\nvs\n%v", pl1.Decisions(), pl2.Decisions())
+	}
+	if s1, s2 := pl1.Stats(), pl2.Stats(); s1 != s2 {
+		t.Errorf("same seed, different planner counters: %+v vs %+v", s1, s2)
+	}
+	if s := pl1.Stats(); s.Misses == 0 || s.Hits == 0 || s.Observations == 0 || s.Commits == 0 {
+		t.Errorf("run exercised no planner path: %+v", s)
+	}
+}
+
+// Before any refinement commits, picks are pure closed-form functions
+// of (tree, family, bucket): both engines running the same program on
+// clones of the same tree must build identical decision caches.
+func TestPlannedPicksAgreeAcrossEngines(t *testing.T) {
+	base := model.UCFTestbedN(8)
+
+	trV := base.Clone()
+	plV := plan.New()
+	if _, err := hbsp.NewVirtual(trV, fabric.New(trV, fabric.PureModel())).Run(planSweepProg(plV)); err != nil {
+		t.Fatalf("virtual: %v", err)
+	}
+	trC := base.Clone()
+	plC := plan.New()
+	if _, err := hbsp.NewConcurrent(trC).Run(planSweepProg(plC)); err != nil {
+		t.Fatalf("concurrent: %v", err)
+	}
+	dv, dc := plV.Decisions(), plC.Decisions()
+	if !reflect.DeepEqual(dv, dc) {
+		t.Errorf("engines disagree on picks:\nvirtual    %v\nconcurrent %v", dv, dc)
+	}
+	if len(dv) == 0 {
+		t.Errorf("no decisions cached")
+	}
+}
+
+// slotPids returns leaf pids in slot (layout) order.
+func slotPids(tr *model.Tree) []int {
+	var out []int
+	tr.Root.Walk(func(m *model.Machine) {
+		if m.IsLeaf() {
+			out = append(out, tr.Pid(m))
+		}
+	})
+	return out
+}
+
+// A Reranker-driven reorganization must invalidate the planner's
+// cached decisions: a sustained 10× straggler on the fastest leaf
+// forces real layout permutations every second barrier, and every
+// decision surviving the run must be keyed to the final tree — never
+// to a fingerprint the tree no longer has.
+func TestPlannerInvalidatedByReorg(t *testing.T) {
+	for _, engine := range []string{"virtual", "concurrent"} {
+		t.Run(engine, func(t *testing.T) {
+			tr := model.UCFTestbedN(8)
+			before := slotPids(tr)
+			pl := plan.New()
+			chaos := &fabric.ChaosPlan{
+				Stragglers: []fabric.Straggler{{Pid: 0, FromStep: 0, ToStep: 60, Factor: 10}},
+			}
+			prog := func(c hbsp.Ctx) error {
+				for round := 0; round < 10; round++ {
+					c.Charge(2)
+					t := c.Tree()
+					root := t.Pid(t.FastestLeaf())
+					var data []byte
+					if c.Pid() == root {
+						data = bytes.Repeat([]byte{0x5C}, 4096)
+					}
+					out, err := collective.PlannedBcast(c, pl, 4096, data)
+					if err != nil {
+						return err
+					}
+					if len(out) != 4096 || out[0] != 0x5C {
+						return fmt.Errorf("p%d round %d: bcast corrupted", c.Pid(), round)
+					}
+				}
+				return nil
+			}
+			var err error
+			if engine == "virtual" {
+				eng := hbsp.NewVirtual(tr, fabric.New(tr, fabric.PureModel()))
+				eng.Chaos = chaos
+				eng.ReorgEvery = 2
+				eng.ReorgSeed = 42
+				eng.Plan = pl
+				_, err = eng.Run(prog)
+			} else {
+				eng := hbsp.NewConcurrent(tr)
+				eng.Chaos = chaos
+				eng.ReorgEvery = 2
+				eng.ReorgSeed = 42
+				eng.Plan = pl
+				_, err = eng.Run(prog)
+			}
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			s := pl.Stats()
+			if s.Evictions == 0 {
+				t.Errorf("reorgs applied but planner evicted nothing: %+v", s)
+			}
+			if s.Misses < 2 {
+				t.Errorf("invalidation never forced a re-decide: %+v", s)
+			}
+			fp := tr.Fingerprint()
+			for _, d := range pl.Decisions() {
+				if d.FP != fp {
+					t.Errorf("stale decision survived reorg: %v (tree is %016x)", d, fp)
+				}
+			}
+			if engine == "virtual" && reflect.DeepEqual(before, slotPids(tr)) {
+				t.Errorf("straggler did not permute the layout; test exercised nothing")
+			}
+		})
+	}
+}
+
+// A crash-stop changes the membership epoch without touching the tree
+// layout — the fingerprint stays put, so only the explicit epoch hook
+// can evict. The survivors' planner must drop its cached decisions
+// when the dead set grows.
+func TestPlannerInvalidatedByCrash(t *testing.T) {
+	tr := model.UCFTestbedN(6)
+	pl := plan.New()
+	prog := func(c hbsp.Ctx) error {
+		t := c.Tree()
+		root := t.Pid(t.FastestLeaf())
+		var data []byte
+		if c.Pid() == root {
+			data = bytes.Repeat([]byte{9}, 2048)
+		}
+		if _, err := collective.PlannedBcast(c, pl, 2048, data); err != nil {
+			return err
+		}
+		for s := 0; s < 10; s++ {
+			if err := hbsp.SyncAll(c, fmt.Sprintf("s%d", s)); err != nil {
+				var pf *hbsp.ErrPeerFailed
+				if errors.As(err, &pf) {
+					if err := hbsp.SyncAll(c, fmt.Sprintf("s%d-retry", s)); err != nil {
+						return err
+					}
+					continue
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	eng := hbsp.NewVirtual(tr, fabric.New(tr, fabric.PureModel()))
+	eng.Chaos = &fabric.ChaosPlan{Crashes: []fabric.Crash{{Pid: 4, AtStep: 6}}}
+	eng.Plan = pl
+	if _, err := eng.Run(prog); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := pl.Stats()
+	if s.Evictions == 0 {
+		t.Errorf("dead set grew but planner evicted nothing: %+v", s)
+	}
+	if s.Misses == 0 {
+		t.Errorf("bcast never reached the planner: %+v", s)
+	}
+}

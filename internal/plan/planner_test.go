@@ -1,0 +1,267 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+
+	"hbspk/internal/model"
+)
+
+func TestBucketAndRep(t *testing.T) {
+	cases := []struct {
+		n   int
+		b   uint8
+		rep int
+	}{
+		{0, 1, 1}, {1, 1, 1}, {2, 2, 3}, {3, 2, 3}, {4, 3, 6},
+		{1023, 10, 768}, {1024, 11, 1536}, {1 << 20, 21, 3 << 19},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.n); got != c.b {
+			t.Errorf("Bucket(%d) = %d, want %d", c.n, got, c.b)
+		}
+		if got := BucketRep(c.b); got != c.rep {
+			t.Errorf("BucketRep(%d) = %d, want %d", c.b, got, c.rep)
+		}
+		// The representative must live in its own bucket, or decisions
+		// would be priced for a size the bucket never sees.
+		if Bucket(BucketRep(c.b)) != c.b {
+			t.Errorf("BucketRep(%d)=%d falls in bucket %d", c.b, BucketRep(c.b), Bucket(BucketRep(c.b)))
+		}
+	}
+}
+
+// With no observations the planner must agree with the static
+// closed-form ranking at the bucket-representative size — the planner
+// and the analyzers share one table, so a disagreement means the
+// decision path corrupted the pricing.
+func TestDecideMatchesBestVariantUncorrected(t *testing.T) {
+	p := New()
+	tr := model.UCFTestbed()
+	for _, family := range []string{"bcast", "gather", "scatter", "allgather", "reduce", "allreduce", "scan", "alltoall"} {
+		for _, n := range []int{64, 4096, 1 << 16, 1 << 20} {
+			d, ok := p.Decide(tr, family, n)
+			if !ok {
+				t.Fatalf("Decide(%s, %d): unknown family", family, n)
+			}
+			want, cost, bok := BestVariant(tr, family, BucketRep(Bucket(n)))
+			if !bok {
+				t.Fatalf("BestVariant(%s): unknown family", family)
+			}
+			if d.Variant.Name != want.Name {
+				t.Errorf("Decide(%s, %d) = %s, BestVariant at rep = %s", family, n, d.Variant.Name, want.Name)
+			}
+			if d.Pred != cost {
+				t.Errorf("Decide(%s, %d) pred %g, closed form %g", family, n, d.Pred, cost)
+			}
+		}
+	}
+	if _, ok := p.Decide(tr, "no-such-family", 64); ok {
+		t.Fatalf("Decide accepted an unknown family")
+	}
+}
+
+func TestDecideHitPathAndFresh(t *testing.T) {
+	p := New()
+	tr := model.UCFTestbed()
+	d1, _ := p.Decide(tr, "bcast", 4096)
+	if !d1.Fresh {
+		t.Fatalf("first Decide not Fresh")
+	}
+	// Same bucket (4096 and 5000 share log2 bucket 13) must hit.
+	d2, _ := p.Decide(tr, "bcast", 5000)
+	if d2.Fresh {
+		t.Fatalf("bucket-sharing Decide was Fresh; cache missed")
+	}
+	if d2.Variant.Name != d1.Variant.Name {
+		t.Fatalf("bucket-sharing Decide changed variant")
+	}
+	s := p.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", s)
+	}
+}
+
+// Online refinement: inflate the incumbent's measured cost far past
+// the hysteresis margin and the next commit must flip the cached pick
+// to the runner-up; a mild inflation inside the margin must not.
+func TestObserveCommitFlipsWithHysteresis(t *testing.T) {
+	tr := model.UCFTestbed()
+	const n = 1 << 16
+
+	rank := func() []CostVariant {
+		type row struct {
+			v CostVariant
+			c float64
+		}
+		var rows []row
+		for _, v := range VariantsFor("bcast") {
+			rows = append(rows, row{v, v.Predict(tr, BucketRep(Bucket(n)))})
+		}
+		for i := range rows {
+			for j := i + 1; j < len(rows); j++ {
+				if rows[j].c < rows[i].c {
+					rows[i], rows[j] = rows[j], rows[i]
+				}
+			}
+		}
+		out := make([]CostVariant, len(rows))
+		for i, r := range rows {
+			out[i] = r.v
+		}
+		return out
+	}()
+	if len(rank) < 2 {
+		t.Skip("bcast needs at least two variants")
+	}
+	incumbent, runnerUp := rank[0], rank[1]
+
+	t.Run("flip", func(t *testing.T) {
+		p := New()
+		d, _ := p.Decide(tr, "bcast", n)
+		if d.Variant.Name != incumbent.Name {
+			t.Fatalf("incumbent = %s, ranking says %s", d.Variant.Name, incumbent.Name)
+		}
+		// Measured 100× predicted: correction EWMA seeds at 100, far
+		// past any margin against the uncorrected runner-up.
+		pred := incumbent.Predict(tr, n)
+		p.Observe(tr, "bcast", incumbent.Name, n, 100*pred, pred)
+		if flips := p.Commit(tr); flips != 1 {
+			t.Fatalf("Commit flipped %d decisions, want 1", flips)
+		}
+		d, _ = p.Decide(tr, "bcast", n)
+		if d.Variant.Name != runnerUp.Name {
+			t.Fatalf("after flip pick = %s, want runner-up %s", d.Variant.Name, runnerUp.Name)
+		}
+		if s := p.Stats(); s.Flips != 1 || s.Commits != 1 || s.Observations != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+		if c := p.Correction(tr, "bcast", incumbent.Name, n); c != 100 {
+			t.Fatalf("correction = %g, want 100", c)
+		}
+	})
+
+	t.Run("hysteresis-holds", func(t *testing.T) {
+		p := New()
+		p.Decide(tr, "bcast", n)
+		// Inflate the incumbent just past the runner-up but inside the
+		// flip margin: ratio chosen so runnerUpCost > margin × corrected
+		// incumbent cost.
+		rep := BucketRep(Bucket(n))
+		ratio := runnerUp.Predict(tr, rep) / incumbent.Predict(tr, rep) / DefaultFlipMargin * 0.999
+		if ratio <= 1 {
+			t.Skipf("variants too close (ratio %g); margin unexercisable", ratio)
+		}
+		pred := incumbent.Predict(tr, n)
+		p.Observe(tr, "bcast", incumbent.Name, n, ratio*pred, pred)
+		if flips := p.Commit(tr); flips != 0 {
+			t.Fatalf("Commit flipped inside the hysteresis margin")
+		}
+		d, _ := p.Decide(tr, "bcast", n)
+		if d.Variant.Name != incumbent.Name {
+			t.Fatalf("pick changed without a flip")
+		}
+	})
+}
+
+func TestCommitNoPendingIsNoop(t *testing.T) {
+	p := New()
+	tr := model.UCFTestbed()
+	p.Decide(tr, "bcast", 4096)
+	if flips := p.Commit(tr); flips != 0 {
+		t.Fatalf("empty commit flipped %d", flips)
+	}
+	// An empty commit publishes no batch, so the counter stays put.
+	if s := p.Stats(); s.Commits != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestObserveRejectsDegenerateInputs(t *testing.T) {
+	p := New()
+	tr := model.UCFTestbed()
+	p.Observe(tr, "bcast", "BcastHier", 4096, 0, 1)
+	p.Observe(tr, "bcast", "BcastHier", 4096, -5, 1)
+	p.Observe(tr, "bcast", "BcastHier", 4096, 1, 0)
+	if s := p.Stats(); s.Observations != 0 {
+		t.Fatalf("degenerate observations accepted: %+v", s)
+	}
+}
+
+// Invalidate must evict decisions, corrections and pending samples of
+// the named fingerprints and leave other trees' state alone.
+func TestInvalidateScopedToFingerprint(t *testing.T) {
+	p := New()
+	a := model.UCFTestbed()
+	b := model.Figure1Cluster()
+	p.Decide(a, "bcast", 4096)
+	p.Decide(b, "bcast", 4096)
+	pred := 10.0
+	p.Observe(a, "bcast", "BcastHier", 4096, 20, pred)
+	p.Commit(a)
+
+	p.Invalidate(a.Fingerprint())
+	if s := p.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if c := p.Correction(a, "bcast", "BcastHier", 4096); c != 1 {
+		t.Fatalf("correction survived invalidation: %g", c)
+	}
+	ds := p.Decisions()
+	if len(ds) != 1 || ds[0].FP != b.Fingerprint() {
+		t.Fatalf("decisions after invalidate = %+v", ds)
+	}
+
+	// TreeChanged must evict by both the old and the current print.
+	d, _ := p.Decide(a, "bcast", 4096)
+	_ = d
+	p.TreeChanged(a, b.Fingerprint())
+	if len(p.Decisions()) != 0 {
+		t.Fatalf("TreeChanged left decisions live: %+v", p.Decisions())
+	}
+}
+
+// Concurrent Decide/Observe from many goroutines (run under -race):
+// every caller of one generation must resolve the same variant, and a
+// commit between generations must keep that true per generation.
+func TestConcurrentDecideAgreement(t *testing.T) {
+	p := New()
+	tr := model.UCFTestbed()
+	const procs = 16
+	const n = 1 << 14
+
+	generation := func() []string {
+		var wg sync.WaitGroup
+		picks := make([]string, procs)
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				d, ok := p.Decide(tr, "bcast", n)
+				if !ok {
+					t.Error("Decide failed")
+					return
+				}
+				picks[i] = d.Variant.Name
+				pred := d.Variant.Predict(tr, n)
+				p.Observe(tr, "bcast", d.Variant.Name, n, pred*1.1, pred)
+			}(i)
+		}
+		wg.Wait()
+		return picks
+	}
+
+	for gen := 0; gen < 8; gen++ {
+		picks := generation()
+		for i := 1; i < procs; i++ {
+			if picks[i] != picks[0] {
+				t.Fatalf("gen %d: processor %d picked %s, processor 0 picked %s",
+					gen, i, picks[i], picks[0])
+			}
+		}
+		p.Commit(tr) // quiescent point between generations
+	}
+	if s := p.Stats(); s.Misses != 1 || s.Hits != 8*procs-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", s, 8*procs-1)
+	}
+}

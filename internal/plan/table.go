@@ -1,4 +1,4 @@
-package collective
+package plan
 
 import (
 	"fmt"
@@ -10,13 +10,14 @@ import (
 
 // Closed-form cost hooks: every shipped collective variant exposes its
 // analytic cost.Breakdown as a function of (machine tree, problem size),
-// keyed by the exact entrypoint name a caller writes in source. The
-// static analyzers (costbound, variantcheck) and the future auto-tuned
-// planner consume this one table; the closed forms themselves live in
+// keyed by the exact entrypoint name a caller writes in source. This is
+// the ONE variant/switchpoint table in the tree: the static analyzers
+// (costbound, variantcheck), cmd/hbspk-sim's closed-form column, and
+// the runtime Planner all consume it, so static advice and runtime
+// picks cannot disagree. The closed forms themselves live in
 // internal/cost and are validated against the simulation by the
 // experiments suite — this file only fixes the callsite conventions
-// (root = fastest leaf, balanced distributions, the same choices
-// cmd/hbspk-sim's closedForm makes).
+// (root = fastest leaf, balanced distributions).
 
 // variantOpCost is the nominal per-byte combining cost used when a
 // variant's closed form takes an operator cost: comparisons between
