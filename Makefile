@@ -46,12 +46,21 @@ chaos:
 # reduce delivery-order independent under 4 seeded permutations each,
 # and the reorg property sweep proves rebalancing preserves topology
 # shape, the leaf multiset and every collective's sequential oracle.
+# The final stanza is the multi-process transport smoke: a coordinator
+# and two worker OS processes run the verified broadcast+reduce SPMD
+# program over a unix socket (DESIGN.md §5.10).
 verify:
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective gather -n 4096 -pure -explore 4
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective bcast-hier -n 4096 -pure -explore 4
 	$(GO) run ./cmd/hbspk-sim -machine ucf -collective reduce-hier -n 4096 -pure -explore 4
 	$(GO) test -count=1 -run 'TestReorganizePreservesShapeAndLeaves|TestPlanReorgDeterministic' ./internal/model/
 	$(GO) test -count=1 -run 'TestSweepOnReorganizedTrees' ./internal/collective/
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/hbspk-worker" ./cmd/hbspk-worker || exit 1; \
+	"$$tmp/hbspk-worker" -listen "unix:$$tmp/coord.sock" -nprocs 3 & c=$$!; \
+	"$$tmp/hbspk-worker" -connect "unix:$$tmp/coord.sock" -pid 1 -nprocs 3 & w1=$$!; \
+	"$$tmp/hbspk-worker" -connect "unix:$$tmp/coord.sock" -pid 2 -nprocs 3 & w2=$$!; \
+	wait "$$c" && wait "$$w1" && wait "$$w2"
 
 # bench runs the pvm fabric microbenchmarks at a fixed iteration count
 # (comparable across runs) plus the figure benchmarks, then emits
@@ -103,12 +112,15 @@ cover:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage $${total}% fell below the $${floor}% floor"; exit 1; }
 
-# fuzz gives each pvm wire-format fuzzer a short budget; CI smoke, not a
-# campaign.
+# fuzz gives each pvm wire-format and wiretrans frame-layer fuzzer a
+# short budget; CI smoke, not a campaign.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/pvm/ -fuzz FuzzBufferRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pvm/ -fuzz FuzzUnpack -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pvm/wiretrans/ -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pvm/wiretrans/ -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pvm/wiretrans/ -run '^$$' -fuzz FuzzBatchBody -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

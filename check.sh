@@ -113,6 +113,28 @@ elapsed=$(( $(date +%s) - start ))
 echo "planner smoke wall time: ${elapsed}s (budget 30s)"
 [ "$elapsed" -le 30 ]
 
+# Multi-process transport smoke (DESIGN.md §5.10): one coordinator and
+# two worker OS processes run the verified broadcast+reduce SPMD
+# program over a unix socket — vector clocks, payload checksums and a
+# closed-form reduce oracle checked end to end — inside a 30s wall-time
+# budget. Workers dial with retry, so no startup sleep is needed.
+start=$(date +%s)
+mptmp=$(mktemp -d)
+go build -o "$mptmp/hbspk-worker" ./cmd/hbspk-worker
+"$mptmp/hbspk-worker" -listen "unix:$mptmp/coord.sock" -nprocs 3 &
+coord=$!
+"$mptmp/hbspk-worker" -connect "unix:$mptmp/coord.sock" -pid 1 -nprocs 3 &
+w1=$!
+"$mptmp/hbspk-worker" -connect "unix:$mptmp/coord.sock" -pid 2 -nprocs 3 &
+w2=$!
+wait "$coord"
+wait "$w1"
+wait "$w2"
+rm -rf "$mptmp"
+elapsed=$(( $(date +%s) - start ))
+echo "multi-process transport smoke wall time: ${elapsed}s (budget 30s)"
+[ "$elapsed" -le 30 ]
+
 # Coverage floor: total statement coverage must not drop below the
 # baseline recorded in bench/coverage_baseline.txt.
 coverout=$(mktemp)
@@ -123,6 +145,8 @@ floor=$(cat bench/coverage_baseline.txt)
 echo "total coverage ${total}% (floor ${floor}%)"
 awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }'
 
-# Wire-format fuzzers, ~15s each: CI smoke, not a campaign.
+# Wire-format and frame-layer fuzzers, ~15s each: CI smoke, not a
+# campaign.
 go test ./internal/pvm/ -run '^$' -fuzz FuzzBufferRoundTrip -fuzztime 15s
 go test ./internal/pvm/ -run '^$' -fuzz FuzzUnpack -fuzztime 15s
+go test ./internal/pvm/wiretrans/ -run '^$' -fuzz FuzzReadFrame -fuzztime 15s

@@ -1,0 +1,140 @@
+// Command hbspk-worker runs a real multi-process HBSP^k program: one
+// coordinator process listens, N-1 worker processes connect, and all N
+// pids run the verified broadcast+reduce SPMD program over a unix
+// socket or TCP — the paper's PVM-daemon deployment shape, with the
+// coordinator's pvm.System as the authoritative message router and a
+// relay task proxying each worker (DESIGN.md §5.10).
+//
+// Coordinator (pid 0) plus two workers over a unix socket:
+//
+//	hbspk-worker -listen unix:/tmp/hbspk.sock -nprocs 3 &
+//	hbspk-worker -connect unix:/tmp/hbspk.sock -pid 1 -nprocs 3 &
+//	hbspk-worker -connect unix:/tmp/hbspk.sock -pid 2 -nprocs 3
+//
+// Over TCP:
+//
+//	hbspk-worker -listen tcp:127.0.0.1:7070 -nprocs 3
+//	hbspk-worker -connect tcp:127.0.0.1:7070 -pid 1 -nprocs 3
+//
+// Every delivery is stamped with a vector clock and an FNV checksum;
+// receivers verify happens-before ordering, payload integrity, and the
+// reduce total against a closed-form oracle, so "verify=clean" in the
+// output is an end-to-end correctness statement, not just liveness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hbspk/internal/pvm"
+	"hbspk/internal/pvm/wiretrans"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "run as coordinator: net:addr to listen on (unix:/path or tcp:host:port)")
+		connect = flag.String("connect", "", "run as worker: net:addr of the coordinator")
+		pid     = flag.Int("pid", 0, "this worker's processor id (1..nprocs-1; the coordinator is pid 0)")
+		nprocs  = flag.Int("nprocs", 3, "total processors, coordinator included")
+		rounds  = flag.Int("rounds", 3, "broadcast+reduce rounds")
+		nbytes  = flag.Int("n", 4096, "broadcast payload bytes per round")
+		gen     = flag.Int64("gen", 1, "membership generation presented at the handshake")
+		timeout = flag.Duration("timeout", 25*time.Second, "per-operation and startup deadline")
+	)
+	flag.Parse()
+
+	switch {
+	case (*listen == "") == (*connect == ""):
+		fatalf("exactly one of -listen or -connect is required")
+	case *nprocs < 2:
+		fatalf("-nprocs %d: a multi-process run needs at least 2", *nprocs)
+	}
+
+	if *listen != "" {
+		network, addr, err := splitEndpoint(*listen)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := runCoordinator(network, addr, *nprocs, *gen, *rounds, *nbytes, *timeout); err != nil {
+			fatalf("coordinator: %v", err)
+		}
+		return
+	}
+	network, addr, err := splitEndpoint(*connect)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *pid < 1 || *pid >= *nprocs {
+		fatalf("-pid %d out of range [1,%d)", *pid, *nprocs)
+	}
+	if err := runWorker(network, addr, *pid, *nprocs, *gen, *rounds, *nbytes, *timeout); err != nil {
+		fatalf("worker %d: %v", *pid, err)
+	}
+}
+
+func runCoordinator(network, addr string, nprocs int, gen int64, rounds, nbytes int, timeout time.Duration) error {
+	hub, err := wiretrans.NewHub(network, addr, nprocs, gen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hub.Close() }()
+	fmt.Printf("hbspk-worker: coordinator listening on %s:%s (nprocs=%d gen=%d)\n",
+		network, hub.Addr(), nprocs, gen)
+
+	sys := pvm.NewSystem()
+	var moved int64
+	start := time.Now()
+	sys.Spawn("pid0", func(task *pvm.Task) error {
+		n, err := wiretrans.RunSPMD(wiretrans.LocalPeer(task, 0, nprocs, timeout), rounds, nbytes)
+		moved = n
+		return err
+	})
+	for pid := 1; pid < nprocs; pid++ {
+		sys.Spawn(fmt.Sprintf("relay%d", pid), hub.Relay(pid, timeout))
+	}
+	if err := sys.Wait(); err != nil {
+		return err
+	}
+	fmt.Printf("hbspk-worker: coordinator done: transport=%s nprocs=%d rounds=%d payload=%dB sent=%dB wall=%v verify=clean\n",
+		network, nprocs, rounds, nbytes, moved, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runWorker(network, addr string, pid, nprocs int, gen int64, rounds, nbytes int, timeout time.Duration) error {
+	w, err := wiretrans.DialWorker(network, addr, pid, nprocs, gen, timeout)
+	if err != nil {
+		return err
+	}
+	moved, runErr := wiretrans.RunSPMD(w, rounds, nbytes)
+	if cerr := w.Close(); runErr == nil && cerr != nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Printf("hbspk-worker: worker %d done: transport=%s rounds=%d sent=%dB verify=clean\n",
+		pid, network, rounds, moved)
+	return nil
+}
+
+// splitEndpoint parses "unix:/path" or "tcp:host:port".
+func splitEndpoint(s string) (network, addr string, err error) {
+	network, addr, ok := strings.Cut(s, ":")
+	if !ok || addr == "" {
+		return "", "", fmt.Errorf("endpoint %q: want net:addr (unix:/path or tcp:host:port)", s)
+	}
+	switch network {
+	case "unix", "tcp":
+		return network, addr, nil
+	default:
+		return "", "", fmt.Errorf("endpoint %q: unsupported network %q", s, network)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hbspk-worker: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -110,6 +110,13 @@ type Concurrent struct {
 	// online refinement commits at the reorg/membership cadence; set
 	// ReorgEvery to open windows on a straggler-free run.
 	Plan PlanHook
+
+	// Transport, when non-nil, builds the pvm transport each Run
+	// attaches to its System (DESIGN.md §5.10) — a fresh instance per
+	// run, closed when the run ends. Nil keeps the in-proc direct path.
+	// A transport that severs mid-run surfaces as ErrPeerFailed with
+	// cause "link lost", through the same shrink protocol as a crash.
+	Transport func() (pvm.Transport, error)
 }
 
 // defaultDesyncTimeout balances catching real deadlocks quickly against
@@ -858,25 +865,39 @@ func (c *cctx) Sync(scope *model.Machine, label string) error {
 	}
 	c.outbox = kept
 
+	members := make([]int, len(leaves))
+	for i, l := range leaves {
+		members[i] = c.eng.tree.Pid(l)
+	}
+
 	// One mailbox append per destination, in pid order: the whole
 	// superstep's traffic to a peer lands under a single lock
 	// acquisition.
 	sort.Ints(c.touched)
 	var sendErr error
+	lostDst := -1
 	for _, dst := range c.touched {
 		if sendErr == nil {
-			sendErr = c.task.SendBatch(c.tids[dst], c.wireTag(scope, gen, 0), c.batch[dst])
+			if sendErr = c.task.SendBatch(c.tids[dst], c.wireTag(scope, gen, 0), c.batch[dst]); sendErr != nil && errors.Is(sendErr, pvm.ErrPeerLost) {
+				lostDst = dst
+			}
 		}
 		c.batch[dst] = c.batch[dst][:0]
 	}
 	c.touched = c.touched[:0]
 	if sendErr != nil {
+		if lostDst >= 0 && lostDst != c.pid {
+			// A severed wire link is a detected peer failure: run the
+			// same shrink protocol as a crash, so every survivor of the
+			// scope observes ErrPeerFailed at one consistent generation
+			// and later Syncs complete over the remaining members.
+			c.shared.crashSelf(lostDst, ord, "link lost")
+			if dp, di, dv := c.shared.ackCanceled(c.pid, scope.Label(), members); dp >= 0 {
+				c.failedView = dv
+				return &ErrPeerFailed{Pid: dp, Step: di.step, Cause: di.cause}
+			}
+		}
 		return sendErr
-	}
-
-	members := make([]int, len(leaves))
-	for i, l := range leaves {
-		members[i] = c.eng.tree.Pid(l)
 	}
 	wait := &syncWait{
 		scope:   scope.Label(),
@@ -1442,6 +1463,22 @@ func (c *cctx) liveCoordinator(scope *model.Machine) *model.Machine {
 func (e *Concurrent) Run(prog Program) (*trace.Report, error) {
 	p := e.tree.NProcs()
 	sys := pvm.NewSystem()
+	if e.Transport != nil {
+		tr, err := e.Transport()
+		if err != nil {
+			return nil, fmt.Errorf("hbsp: transport: %w", err)
+		}
+		if tr != nil {
+			if err := sys.SetTransport(tr); err != nil {
+				_ = tr.Close()
+				return nil, fmt.Errorf("hbsp: transport attach: %w", err)
+			}
+			// LIFO: the transport outlives every deferred teardown below
+			// (watchdog included), so pumps drain only after the tasks
+			// are done sending.
+			defer func() { _ = tr.Close() }()
+		}
+	}
 	shared := &crun{
 		sys:         sys,
 		scopeID:     make(map[*model.Machine]int),

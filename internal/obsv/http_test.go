@@ -14,7 +14,7 @@ func TestServeDebugMetricsAndVars(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ds.Close()
+	t.Cleanup(func() { _ = ds.Close() })
 
 	get := func(path string) (int, string) {
 		t.Helper()

@@ -276,4 +276,21 @@ func (r *Recorder) PoolDraw(hit bool) {
 	}
 }
 
+// TransportFrame records one frame crossing a wire transport, split by
+// transport name and direction. Part of pvm's structural FrameObserver
+// extension; the in-proc fast path never emits it, so a nonzero count
+// is itself proof the run left the process. Frames are per-batch, not
+// per-message, so the registry lookup here is off the per-message path.
+func (r *Recorder) TransportFrame(transport string, out bool, frameBytes int) {
+	if r == nil {
+		return
+	}
+	dir := "rx"
+	if out {
+		dir = "tx"
+	}
+	r.metrics.Counter("hbspk_transport_frames_total", "transport", transport, "dir", dir).Inc()
+	r.metrics.Counter("hbspk_transport_bytes_total", "transport", transport, "dir", dir).Add(int64(frameBytes))
+}
+
 func itoa(v int) string { return strconv.Itoa(v) }

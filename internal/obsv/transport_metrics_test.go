@@ -1,0 +1,41 @@
+package obsv
+
+import (
+	"testing"
+
+	"hbspk/internal/pvm"
+)
+
+// The Recorder must satisfy pvm's structural FrameObserver extension so
+// wire transports can feed it per-transport traffic counters.
+var _ pvm.FrameObserver = (*Recorder)(nil)
+
+func TestTransportFrameCounters(t *testing.T) {
+	r := New(Config{})
+	r.TransportFrame("unix", true, 100)
+	r.TransportFrame("unix", true, 28)
+	r.TransportFrame("unix", false, 64)
+	r.TransportFrame("tcp", false, 9)
+
+	reg := r.Metrics()
+	cases := []struct {
+		transport, dir string
+		frames, bytes  int64
+	}{
+		{"unix", "tx", 2, 128},
+		{"unix", "rx", 1, 64},
+		{"tcp", "rx", 1, 9},
+	}
+	for _, tc := range cases {
+		frames := reg.Counter("hbspk_transport_frames_total", "transport", tc.transport, "dir", tc.dir).Value()
+		bytes := reg.Counter("hbspk_transport_bytes_total", "transport", tc.transport, "dir", tc.dir).Value()
+		if frames != tc.frames || bytes != tc.bytes {
+			t.Errorf("%s/%s: frames=%d bytes=%d, want frames=%d bytes=%d",
+				tc.transport, tc.dir, frames, bytes, tc.frames, tc.bytes)
+		}
+	}
+
+	// Nil receiver: the engines' observability-off path.
+	var nilR *Recorder
+	nilR.TransportFrame("unix", true, 1)
+}

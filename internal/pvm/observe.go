@@ -15,10 +15,25 @@ type Observer interface {
 	PoolDraw(hit bool)
 }
 
+// FrameObserver is an optional extension of Observer for wire
+// transports: implementations that also want per-transport frame and
+// byte counts implement it and transports type-assert at attach time.
+// obsv.Recorder implements it structurally, like Observer itself.
+type FrameObserver interface {
+	// TransportFrame reports one framed transfer on the named
+	// transport; out distinguishes writes from reads, frameBytes is the
+	// full frame length including the length prefix.
+	TransportFrame(transport string, out bool, frameBytes int)
+}
+
 // observer is process-global: the wire pool is shared by every System
 // in the process, so the hook is too. Tests that set it must not run
 // in parallel with other tests and must restore nil.
 var observer atomic.Pointer[Observer]
+
+// InstalledObserver returns the process-global observer (or nil), for
+// transport implementations outside this package.
+func InstalledObserver() Observer { return observerOf() }
 
 // SetObserver installs (or, with nil, removes) the substrate observer.
 func SetObserver(o Observer) {

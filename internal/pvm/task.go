@@ -67,6 +67,11 @@ type System struct {
 
 	errMu sync.Mutex
 	errs  []error
+
+	// transport, when non-nil, owns message delivery (SetTransport).
+	// Written once before any Spawn; read without synchronization on
+	// the send path.
+	transport Transport
 }
 
 // NewSystem returns an empty virtual machine.
@@ -199,6 +204,11 @@ type Task struct {
 // TID returns the task's identity.
 func (t *Task) TID() TID { return t.tid }
 
+// System returns the virtual machine that spawned the task. Relay
+// tasks bridging remote processes use it to halt the whole system when
+// their peer's link drops.
+func (t *Task) System() *System { return t.sys }
+
 // Name returns the task's spawn name.
 func (t *Task) Name() string { return t.name }
 
@@ -217,7 +227,11 @@ func (t *Task) Send(dst TID, tag int, buf *Buffer) error {
 	if err != nil {
 		return err
 	}
-	return target.deliverOne(Message{Src: t.tid, Tag: tag, buf: buf.data, w: w})
+	m := Message{Src: t.tid, Tag: tag, buf: buf.data, w: w}
+	if tr := t.sys.transport; tr != nil {
+		return tr.Deliver(dst, []Message{m})
+	}
+	return target.deliverOne(m)
 }
 
 // SendBatch enqueues one message per buffer at dst under a single
@@ -238,6 +252,9 @@ func (t *Task) SendBatch(dst TID, tag int, bufs []*Buffer) error {
 			return err
 		}
 		ms[i] = Message{Src: t.tid, Tag: tag, buf: buf.data, w: w}
+	}
+	if tr := t.sys.transport; tr != nil {
+		return tr.Deliver(dst, ms)
 	}
 	return target.deliverBatch(ms)
 }
@@ -268,6 +285,22 @@ func (t *Task) Mcast(dsts []TID, tag int, buf *Buffer) error {
 		return err
 	}
 	w.retain(int32(len(targets) - 1))
+	if tr := t.sys.transport; tr != nil {
+		// Deliver consumes one reference per call, error or not; a
+		// failed fan-out only has the untried tail left to drop.
+		var firstErr error
+		for _, target := range targets {
+			if firstErr != nil {
+				w.release()
+				continue
+			}
+			m := Message{Src: t.tid, Tag: tag, buf: buf.data, w: w}
+			if err := tr.Deliver(target.tid, []Message{m}); err != nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
 	for i, target := range targets {
 		if err := target.deliverOne(Message{Src: t.tid, Tag: tag, buf: buf.data, w: w}); err != nil {
 			// The undelivered tail's references die with the error.

@@ -1,0 +1,116 @@
+package pvm
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPeerLost is wrapped by transports when a peer's link is severed —
+// the connection closed, reset, or failed mid-delivery. The engines map
+// it into their failure-detection taxonomy (ErrPeerFailed) exactly like
+// a detected crash, so a dead wire degrades a run instead of hanging it.
+var ErrPeerLost = errors.New("pvm: transport peer lost")
+
+// Transport abstracts the message plane under a System. The nil
+// transport is the in-proc fast path: deliveries go straight into the
+// destination's indexed mailbox with zero copies and pooled backing.
+// A non-nil transport owns delivery instead: Send, SendBatch and Mcast
+// hand it the adopted messages and the transport is responsible for
+// getting them into the destination mailbox (for a wire transport, via
+// System.Inject on the receiving side).
+//
+// Contract:
+//
+//   - Deliver must be synchronous: it must not return success before
+//     every message in the batch is observable by the destination's
+//     receive operations. The engines rely on "all sends of a superstep
+//     happen before any barrier exit", so a transport that buffers
+//     without acknowledgement would break barrier-delimited delivery.
+//   - Deliver consumes the batch: each message's wire reference is owned
+//     by the transport from the moment Deliver is called, on success and
+//     on error alike (release after copying to the wire, or transfer to
+//     the destination mailbox for loopback paths).
+//   - Per-sender FIFO: two Deliver calls from the same task to the same
+//     destination must stage in call order.
+//   - Errors map into the pvm taxonomy: a severed link wraps
+//     ErrPeerLost, an acknowledgement deadline wraps ErrTimeout, and a
+//     halted destination system surfaces ErrHalted.
+type Transport interface {
+	// Name identifies the transport flavor ("inproc", "unix", "tcp").
+	Name() string
+	// Attach binds the transport to the System whose tasks it will
+	// carry. Called once by SetTransport before any task is spawned.
+	Attach(sys *System) error
+	// Deliver carries a batch of already-adopted messages to dst.
+	Deliver(dst TID, ms []Message) error
+	// Close tears the transport down (listeners, connections, pumps).
+	Close() error
+}
+
+// TransportFactory names one registered transport flavor. A nil New is
+// the in-proc direct path (no Transport object at all), which is how
+// the default registers itself.
+type TransportFactory struct {
+	Name string
+	New  func() (Transport, error)
+}
+
+var (
+	transportsMu sync.Mutex
+	transports   = []TransportFactory{{Name: "inproc", New: nil}}
+)
+
+// RegisterTransport adds a transport flavor to the process-global
+// registry. The conformance suite iterates the registry so every
+// registered transport is exercised by the same collective matrix.
+func RegisterTransport(f TransportFactory) {
+	transportsMu.Lock()
+	defer transportsMu.Unlock()
+	for _, have := range transports {
+		if have.Name == f.Name {
+			panic("pvm: duplicate transport " + f.Name)
+		}
+	}
+	transports = append(transports, f)
+}
+
+// TransportFactories returns a copy of the registry, in-proc first.
+func TransportFactories() []TransportFactory {
+	transportsMu.Lock()
+	defer transportsMu.Unlock()
+	return append([]TransportFactory(nil), transports...)
+}
+
+// SetTransport attaches tr and routes subsequent Send/SendBatch/Mcast
+// calls through it. Must be called before any Spawn: the field is read
+// without synchronization on the send path, relying on Spawn's
+// happens-before edge. A nil tr is a no-op (the in-proc default).
+func (s *System) SetTransport(tr Transport) error {
+	if tr == nil {
+		return nil
+	}
+	if err := tr.Attach(s); err != nil {
+		return err
+	}
+	s.transport = tr
+	return nil
+}
+
+// Inject stages a received wire payload into dst's mailbox on behalf of
+// src. It is the re-entry point for wire transports: the bytes are
+// copied into a fresh pooled backing (the caller's frame buffer is not
+// retained) and delivered exactly like a local send, so receivers see
+// no difference between transports.
+func (s *System) Inject(src, dst TID, tag int, wire []byte) error {
+	target, err := s.task(dst)
+	if err != nil {
+		return err
+	}
+	w := newWire()
+	w.data = append(w.data[:0], wire...)
+	if err := target.deliverOne(Message{Src: src, Tag: tag, buf: w.data, w: w}); err != nil {
+		w.release()
+		return err
+	}
+	return nil
+}

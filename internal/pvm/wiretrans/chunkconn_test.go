@@ -1,0 +1,145 @@
+package wiretrans
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// chunkConn is a net.Conn test double that fragments traffic: Reads
+// return at most maxRead bytes and Writes are issued to the underlying
+// conn in maxWrite-byte pieces — the worst-case syscall behavior of a
+// congested TCP stream, which the frame layer must reassemble exactly.
+type chunkConn struct {
+	net.Conn
+	maxRead, maxWrite int
+}
+
+func (c *chunkConn) Read(p []byte) (int, error) {
+	if c.maxRead > 0 && len(p) > c.maxRead {
+		p = p[:c.maxRead]
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *chunkConn) Write(p []byte) (int, error) {
+	if c.maxWrite <= 0 {
+		return c.Conn.Write(p)
+	}
+	total := 0
+	for len(p) > 0 {
+		n := c.maxWrite
+		if n > len(p) {
+			n = len(p)
+		}
+		m, err := c.Conn.Write(p[:n])
+		total += m
+		if err != nil {
+			return total, err
+		}
+		p = p[m:]
+	}
+	return total, nil
+}
+
+func TestFramesSurviveChunkedConn(t *testing.T) {
+	// Every read returns 1 byte, every write is split into 3-byte
+	// pieces: frames must reassemble bit-exact anyway.
+	a, b := net.Pipe()
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	sender := &link{conn: &chunkConn{Conn: a, maxWrite: 3}, transport: "test"}
+	receiver := &link{conn: &chunkConn{Conn: b, maxRead: 1}, transport: "test"}
+
+	frames := []struct {
+		kind byte
+		body []byte
+	}{
+		{frameHello, nil},
+		{frameBatch, bytes.Repeat([]byte{0xC3}, 1000)},
+		{frameAck, []byte{0}},
+		{frameBye, []byte("goodbye")},
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for _, fr := range frames {
+			if err := sender.writeFrame(fr.kind, fr.body); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	var scratch []byte
+	for i, want := range frames {
+		kind, body, next, err := receiver.readFrame(scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		scratch = next
+		if kind != want.kind || !bytes.Equal(body, want.body) {
+			t.Fatalf("frame %d mutated: kind %d→%d, %d→%d bytes", i, want.kind, kind, len(want.body), len(body))
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}
+
+func TestReadFrameTypedErrors(t *testing.T) {
+	big := make([]byte, 4)
+	big[0], big[1], big[2], big[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"clean EOF", nil, io.EOF},
+		{"header cut short", []byte{0, 0}, ErrTruncatedFrame},
+		{"zero length", []byte{0, 0, 0, 0}, ErrBadFrame},
+		{"oversize length", append(big, 1), ErrFrameTooBig},
+		{"body cut short", AppendFrame(nil, frameMsg, bytes.Repeat([]byte{1}, 64))[:10], ErrTruncatedFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, _, err := ReadFrame(bytes.NewReader(tc.raw), nil)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFrame = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHandshakeOverChunkedConn(t *testing.T) {
+	// The full HELLO/WELCOME exchange through fragmenting conns.
+	a, b := net.Pipe()
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	_ = a.SetDeadline(time.Now().Add(5 * time.Second))
+	_ = b.SetDeadline(time.Now().Add(5 * time.Second))
+	dialer := &link{conn: &chunkConn{Conn: a, maxRead: 1, maxWrite: 2}, transport: "test"}
+	acceptor := &link{conn: &chunkConn{Conn: b, maxRead: 1, maxWrite: 2}, transport: "test"}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := dialer.sendHello(helloInfo{role: roleWorker, pid: 2, nprocs: 4, gen: 9}); err != nil {
+			errc <- err
+			return
+		}
+		errc <- dialer.readWelcome()
+	}()
+	h, err := acceptor.readHello()
+	if err != nil {
+		t.Fatalf("readHello: %v", err)
+	}
+	if h.role != roleWorker || h.pid != 2 || h.nprocs != 4 || h.gen != 9 {
+		t.Fatalf("hello = %+v", h)
+	}
+	if err := acceptor.sendWelcome(welcomeOK, ""); err != nil {
+		t.Fatalf("sendWelcome: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("dialer: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package wiretrans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hbspk/internal/hbsp"
+	"hbspk/internal/model"
+	"hbspk/internal/pvm"
+	"hbspk/internal/testutil"
+)
+
+// ringProg exchanges a tagged value around the ring each superstep and
+// verifies the arithmetic, so any loss, reordering or corruption on
+// the wire surfaces as a hard error.
+func ringProg(steps int) hbsp.Program {
+	return func(c hbsp.Ctx) error {
+		pid, n := c.Pid(), c.NProcs()
+		for s := 0; s < steps; s++ {
+			want := uint64(((pid+n-1)%n)*1000 + s)
+			payload := binary.BigEndian.AppendUint64(nil, uint64(pid*1000+s))
+			if err := c.Send((pid+1)%n, s, payload); err != nil {
+				return err
+			}
+			if err := hbsp.SyncAll(c, fmt.Sprintf("ring%d", s)); err != nil {
+				return err
+			}
+			moves := c.Moves()
+			if len(moves) != 1 {
+				return fmt.Errorf("p%d step %d: %d moves, want 1", pid, s, len(moves))
+			}
+			got := binary.BigEndian.Uint64(moves[0].Payload)
+			if got != want {
+				return fmt.Errorf("p%d step %d: received %d, want %d", pid, s, got, want)
+			}
+		}
+		return nil
+	}
+}
+
+func TestConcurrentEngineOverWire(t *testing.T) {
+	for _, network := range []string{"unix", "tcp"} {
+		t.Run(network, func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			eng := hbsp.NewConcurrent(model.UCFTestbedN(4))
+			eng.Verify = true // vector-clock checker across the wire
+			eng.Transport = func() (pvm.Transport, error) { return NewLoopback(network) }
+			if _, err := eng.Run(ringProg(5)); err != nil {
+				t.Fatalf("run over %s: %v", network, err)
+			}
+		})
+	}
+}
+
+func TestAbruptCloseIsDetectedAsPeerFailure(t *testing.T) {
+	// The abrupt-connection-close chaos case: the link under a running
+	// engine severs with no goodbye mid-run. The run must fail fast —
+	// typed, not hung — with the shrink protocol reporting the
+	// unreachable peer as failed with cause "link lost".
+	testutil.CheckGoroutines(t)
+	trc := make(chan *Loopback, 1)
+	eng := hbsp.NewConcurrent(model.UCFTestbedN(4))
+	eng.Transport = func() (pvm.Transport, error) {
+		tr, err := NewLoopback("tcp")
+		if err == nil {
+			// The ring program sends 4 batch frames per superstep; sever
+			// partway through the run, past the first barrier.
+			tr.Sever(6)
+			trc <- tr
+		}
+		return tr, err
+	}
+	start := time.Now()
+	_, err := eng.Run(ringProg(50))
+	elapsed := time.Since(start)
+	<-trc
+	if err == nil {
+		t.Fatal("run over a severed link succeeded")
+	}
+	var pf *hbsp.ErrPeerFailed
+	switch {
+	case errors.As(err, &pf):
+		if pf.Cause != "link lost" {
+			t.Fatalf("ErrPeerFailed cause = %q, want \"link lost\"", pf.Cause)
+		}
+	case errors.Is(err, pvm.ErrPeerLost):
+		// The severing deliver was a self-send: no peer to blame, but
+		// still the typed transport error, not a hang.
+	default:
+		t.Fatalf("run error = %v, want ErrPeerFailed or pvm.ErrPeerLost", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("failure detection took %v", elapsed)
+	}
+}

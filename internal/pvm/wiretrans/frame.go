@@ -1,0 +1,102 @@
+// Package wiretrans carries pvm messages over real sockets: a
+// length-prefixed frame layer on top of the existing pack/unpack wire
+// format, loopback unix-socket and TCP transports that plug into
+// pvm.System via SetTransport, and a hub/worker protocol that lets one
+// coordinator process plus N worker OS processes run a real
+// multi-process HBSP^k program — the paper's original PVM-daemon
+// deployment, modernized. DESIGN.md §5.10 documents the architecture.
+package wiretrans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hbspk/internal/pvm"
+)
+
+// A frame is [4-byte big-endian length][kind byte][body]; the length
+// counts the kind byte plus the body, never the prefix itself. Frame
+// bodies reuse pvm's typed pack/unpack encoding, so the frame layer
+// inherits its fuzzed robustness and its type-mismatch detection.
+const (
+	frameHeader = 4 // length prefix
+	// MaxFrame bounds a single frame (kind + body). Anything larger is
+	// rejected before allocation, so a corrupt or hostile length prefix
+	// cannot balloon memory.
+	MaxFrame = 16 << 20
+)
+
+// Frame kinds. The first group is the transport plane (Deliver/ack);
+// the second is the hub/worker control plane.
+const (
+	frameHello byte = iota + 1
+	frameWelcome
+	frameBatch
+	frameAck
+	frameMsg        // hub → worker: a routed message
+	frameSend       // worker → hub: send request
+	frameBarrier    // worker → hub: barrier entry
+	frameBarrierOK  // hub → worker: barrier completed, deposits attached
+	frameBarrierErr // hub → worker: barrier failed, typed code attached
+	frameBye        // worker → hub: clean departure
+)
+
+var (
+	// ErrFrameTooBig is returned when a length prefix exceeds MaxFrame.
+	ErrFrameTooBig = errors.New("wiretrans: frame exceeds size limit")
+	// ErrTruncatedFrame is returned when the stream ends inside a frame.
+	ErrTruncatedFrame = errors.New("wiretrans: truncated frame")
+	// ErrBadFrame is returned for structurally invalid frames (zero
+	// length, unknown kind where one is required, malformed body).
+	ErrBadFrame = errors.New("wiretrans: malformed frame")
+)
+
+// AppendFrame appends one encoded frame to dst and returns the
+// extended slice. Callers hand the result to a single Write so a frame
+// is never split across syscalls on the send side (write coalescing:
+// a Deliver batch is one frame, one write).
+func AppendFrame(dst []byte, kind byte, body []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+len(body)))
+	dst = append(dst, kind)
+	return append(dst, body...)
+}
+
+// ReadFrame reads one frame from r into buf (grown as needed) and
+// returns the kind, the body aliasing buf, the possibly-regrown buf,
+// and the total frame length on the wire. A clean EOF before any
+// header byte returns io.EOF; an EOF anywhere inside a frame returns
+// ErrTruncatedFrame.
+func ReadFrame(r io.Reader, buf []byte) (kind byte, body, scratch []byte, n int, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, 0, io.EOF
+		}
+		return 0, nil, buf, 0, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	switch {
+	case size == 0:
+		return 0, nil, buf, 0, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	case size > MaxFrame:
+		return 0, nil, buf, 0, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooBig, size, MaxFrame)
+	}
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, 0, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+	}
+	return buf[0], buf[1:], buf, frameHeader + size, nil
+}
+
+// observeFrame reports one framed transfer to the process observer
+// when it implements the FrameObserver extension.
+func observeFrame(transport string, out bool, frameBytes int) {
+	if fo, ok := pvm.InstalledObserver().(pvm.FrameObserver); ok {
+		fo.TransportFrame(transport, out, frameBytes)
+	}
+}

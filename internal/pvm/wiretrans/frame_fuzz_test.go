@@ -1,0 +1,105 @@
+package wiretrans
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"hbspk/internal/pvm"
+)
+
+// chunkReader yields at most chunk bytes per Read — the io-level half
+// of split-read robustness (the net.Conn double lives in
+// chunkconn_test.go).
+type chunkReader struct {
+	r     io.Reader
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	return c.r.Read(p)
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(frameBatch), []byte{}, 1)
+	f.Add(byte(frameMsg), []byte("hello"), 3)
+	f.Add(byte(0xFF), bytes.Repeat([]byte{0xAB}, 4096), 7)
+	f.Fuzz(func(t *testing.T, kind byte, body []byte, chunk int) {
+		if chunk < 1 {
+			chunk = 1
+		}
+		frame := AppendFrame(nil, kind, body)
+		gotKind, gotBody, _, n, err := ReadFrame(&chunkReader{r: bytes.NewReader(frame), chunk: chunk}, nil)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("frame length %d, wrote %d", n, len(frame))
+		}
+		if gotKind != kind || !bytes.Equal(gotBody, body) {
+			t.Fatalf("frame mutated: kind %d→%d, body %d→%d bytes", kind, gotKind, len(body), len(gotBody))
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Add(AppendFrame(nil, frameAck, []byte("ok")))
+	f.Add(AppendFrame(nil, frameBatch, bytes.Repeat([]byte{1}, 100))[:20]) // truncated
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		kind, body, _, n, err := ReadFrame(bytes.NewReader(raw), nil)
+		if err != nil {
+			// Every failure must be one of the typed errors or a clean
+			// EOF — never a panic, never unbounded allocation.
+			switch {
+			case errors.Is(err, io.EOF),
+				errors.Is(err, ErrTruncatedFrame),
+				errors.Is(err, ErrFrameTooBig),
+				errors.Is(err, ErrBadFrame):
+			default:
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			return
+		}
+		// A parsed frame must re-encode to exactly the bytes consumed.
+		if n > len(raw) {
+			t.Fatalf("claimed %d bytes from a %d-byte input", n, len(raw))
+		}
+		if got := AppendFrame(nil, kind, body); !bytes.Equal(got, raw[:n]) {
+			t.Fatalf("parse/encode mismatch on %d-byte frame", n)
+		}
+	})
+}
+
+// FuzzBatchBody drives the transport's BATCH decoder with arbitrary
+// bodies: a corrupt peer must produce a typed ack (the empty System
+// has no tasks, so every injection attempt acks no-such-task), never a
+// panic.
+func FuzzBatchBody(f *testing.F) {
+	l := &Loopback{network: "tcp", sys: pvm.NewSystem()}
+	valid := func(msgs int) []byte {
+		b := pvm.Wrap(nil).PackInt64(7).PackInt32(1, int32(msgs))
+		for i := 0; i < msgs; i++ {
+			b.PackInt32(int32(i)).PackInt64(int64(100 + i)).PackBytes([]byte("payload"))
+		}
+		return b.Bytes()
+	}
+	f.Add(valid(0))
+	f.Add(valid(2))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("BATCH decoder panicked: %v", r)
+			}
+		}()
+		l.injectBatch(body)
+	})
+}

@@ -1,0 +1,316 @@
+package wiretrans
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hbspk/internal/pvm"
+)
+
+// Hub is the coordinator side of a multi-process run. It listens for
+// worker processes, handshakes them by (pid, nprocs, generation), and
+// hands each accepted connection to a Relay task spawned on the
+// coordinator's pvm.System. The relay is the worker's proxy inside the
+// System: its TID stands in for the worker's pid, messages sent to it
+// are forwarded over the wire, and the worker's sends and barrier
+// entries are replayed onto the System — so local tasks and remote
+// processes are indistinguishable to each other.
+type Hub struct {
+	network string
+	nprocs  int
+	gen     int64
+	ln      net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conns  map[int]*link
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewHub listens on network/addr ("unix" + socket path, or "tcp" +
+// host:port; ":0" picks a free port) and starts accepting workers.
+// gen is the membership generation every worker must present.
+func NewHub(network, addr string, nprocs int, gen int64) (*Hub, error) {
+	if nprocs < 1 {
+		return nil, fmt.Errorf("wiretrans: hub with %d processors", nprocs)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("wiretrans: hub listen %s %s: %w", network, addr, err)
+	}
+	h := &Hub{
+		network: network,
+		nprocs:  nprocs,
+		gen:     gen,
+		ln:      ln,
+		conns:   make(map[int]*link),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the listener's resolved address (the port picked for
+// ":0", the socket path for unix).
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+func (h *Hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			// Listener closed: either Close or process teardown.
+			return
+		}
+		h.wg.Add(1)
+		go h.admit(conn)
+	}
+}
+
+// admit handshakes one inbound connection and registers it by pid.
+func (h *Hub) admit(conn net.Conn) {
+	defer h.wg.Done()
+	lk := &link{conn: conn, transport: h.network}
+	hello, err := lk.readHello()
+	if err != nil {
+		_ = lk.close()
+		return
+	}
+	reject := func(why string) {
+		_ = lk.sendWelcome(welcomeRejected, why)
+		_ = lk.close()
+	}
+	switch {
+	case hello.role != roleWorker:
+		reject(fmt.Sprintf("role %d is not a worker", hello.role))
+		return
+	case hello.pid < 1 || int(hello.pid) >= h.nprocs:
+		reject(fmt.Sprintf("pid %d out of range [1,%d)", hello.pid, h.nprocs))
+		return
+	case int(hello.nprocs) != h.nprocs:
+		reject(fmt.Sprintf("nprocs %d, hub has %d", hello.nprocs, h.nprocs))
+		return
+	case hello.gen != h.gen:
+		reject(fmt.Sprintf("generation %d, hub is at %d", hello.gen, h.gen))
+		return
+	}
+	h.mu.Lock()
+	if h.closed || h.conns[int(hello.pid)] != nil {
+		h.mu.Unlock()
+		reject(fmt.Sprintf("pid %d already connected", hello.pid))
+		return
+	}
+	h.conns[int(hello.pid)] = lk
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	if err := lk.sendWelcome(welcomeOK, ""); err != nil {
+		h.mu.Lock()
+		if h.conns[int(hello.pid)] == lk {
+			delete(h.conns, int(hello.pid))
+		}
+		h.mu.Unlock()
+		_ = lk.close()
+	}
+}
+
+// waitConn blocks until the worker for pid has connected.
+func (h *Hub) waitConn(pid int, timeout time.Duration) (*link, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer timer.Stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if lk := h.conns[pid]; lk != nil {
+			return lk, nil
+		}
+		if h.closed {
+			return nil, fmt.Errorf("wiretrans: hub closed before worker %d connected", pid)
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("wiretrans: worker %d did not connect within %v: %w", pid, timeout, pvm.ErrTimeout)
+		}
+		h.cond.Wait()
+	}
+}
+
+// Relay returns the task body standing in for worker pid. Spawn order
+// fixes the pid↔TID correspondence: the coordinator spawns its own
+// pid-0 program first, then relays for pids 1..nprocs-1, so pid == TID
+// everywhere. The relay forwards mailbox traffic to the worker and
+// replays the worker's sends and barrier entries; if the worker's link
+// drops without a BYE, the relay halts the whole System so the
+// coordinator fails fast instead of hanging at the next barrier.
+func (h *Hub) Relay(pid int, timeout time.Duration) func(*pvm.Task) error {
+	return func(task *pvm.Task) error {
+		lk, err := h.waitConn(pid, timeout)
+		if err != nil {
+			task.System().Halt()
+			return err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		fwdDone := make(chan struct{})
+		go h.forward(ctx, task, lk, fwdDone)
+		err = h.control(task, lk, pid)
+		cancel()
+		<-fwdDone
+		h.mu.Lock()
+		if h.conns[pid] == lk {
+			delete(h.conns, pid)
+		}
+		h.mu.Unlock()
+		_ = lk.close()
+		if err != nil {
+			task.System().Halt()
+		}
+		return err
+	}
+}
+
+// forward drains the relay's mailbox to the worker: every message the
+// System routes at this TID becomes a MSG frame on the wire.
+func (h *Hub) forward(ctx context.Context, task *pvm.Task, lk *link, done chan<- struct{}) {
+	defer close(done)
+	for {
+		m, err := task.RecvContext(ctx, pvm.AnySource, pvm.AnyTag)
+		if err != nil {
+			return // canceled or halted
+		}
+		payload, uerr := m.Buffer().UnpackBytes()
+		var werr error
+		if uerr == nil {
+			body := pvm.Wrap(nil).
+				PackInt32(int32(m.Src)).
+				PackInt64(int64(m.Tag)).
+				PackBytes(payload)
+			werr = lk.writeFrame(frameMsg, body.Bytes())
+		}
+		m.Release()
+		if uerr != nil || werr != nil {
+			return // malformed envelope or dead link; control notices too
+		}
+	}
+}
+
+// control replays the worker's protocol frames onto the System.
+func (h *Hub) control(task *pvm.Task, lk *link, pid int) error {
+	var scratch []byte
+	for {
+		kind, body, next, err := lk.readFrame(scratch)
+		if err != nil {
+			return fmt.Errorf("wiretrans: worker %d link: %w: %v", pid, pvm.ErrPeerLost, err)
+		}
+		scratch = next
+		switch kind {
+		case frameSend:
+			b := pvm.Wrap(body)
+			dst, err := b.UnpackInt32()
+			var tag int64
+			if err == nil {
+				tag, err = b.UnpackInt64()
+			}
+			var payload []byte
+			if err == nil {
+				payload, err = b.UnpackBytes()
+			}
+			if err != nil {
+				return fmt.Errorf("%w: worker %d SEND: %v", ErrBadFrame, pid, err)
+			}
+			if err := task.Send(pvm.TID(dst), int(tag), pvm.NewBuffer().PackBytes(payload)); err != nil {
+				return fmt.Errorf("wiretrans: worker %d send to %d: %w", pid, dst, err)
+			}
+		case frameBarrier:
+			b := pvm.Wrap(body)
+			name, err := b.UnpackString()
+			var count int32
+			if err == nil {
+				count, err = b.UnpackInt32()
+			}
+			var tmoMillis int64
+			if err == nil {
+				tmoMillis, err = b.UnpackInt64()
+			}
+			var deposit []byte
+			if err == nil {
+				deposit, err = b.UnpackBytes()
+			}
+			if err != nil {
+				return fmt.Errorf("%w: worker %d BARRIER: %v", ErrBadFrame, pid, err)
+			}
+			res, berr := task.BarrierExchange(name, int(count), time.Duration(tmoMillis)*time.Millisecond, deposit)
+			if berr != nil {
+				eb := pvm.Wrap(nil).PackInt32(barrierErrCode(berr)).PackString(berr.Error())
+				if werr := lk.writeFrame(frameBarrierErr, eb.Bytes()); werr != nil {
+					return werr
+				}
+				continue
+			}
+			ob := pvm.Wrap(nil).PackInt32(int32(len(res)))
+			for tid, data := range res {
+				ob.PackInt32(int32(tid)).PackBytes(data)
+			}
+			if werr := lk.writeFrame(frameBarrierOK, ob.Bytes()); werr != nil {
+				return werr
+			}
+		case frameBye:
+			return nil
+		default:
+			return fmt.Errorf("%w: worker %d sent kind %d", ErrBadFrame, pid, kind)
+		}
+	}
+}
+
+// Barrier error codes carried on BARRIERERR frames.
+const (
+	berrTimeout int32 = iota + 1
+	berrCanceled
+	berrHalted
+	berrOther
+)
+
+func barrierErrCode(err error) int32 {
+	switch {
+	case errors.Is(err, pvm.ErrTimeout):
+		return berrTimeout
+	case errors.Is(err, pvm.ErrCanceled):
+		return berrCanceled
+	case errors.Is(err, pvm.ErrHalted):
+		return berrHalted
+	default:
+		return berrOther
+	}
+}
+
+// Close tears the hub down: the listener stops, every registered
+// worker connection closes, and pending waitConn calls fail.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]*link, 0, len(h.conns))
+	for _, lk := range h.conns {
+		conns = append(conns, lk)
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, lk := range conns {
+		_ = lk.close()
+	}
+	h.wg.Wait()
+	return err
+}

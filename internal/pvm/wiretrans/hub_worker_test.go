@@ -1,0 +1,176 @@
+package wiretrans
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hbspk/internal/pvm"
+	"hbspk/internal/testutil"
+)
+
+const testTimeout = 15 * time.Second
+
+// startHub brings up a hub plus its coordinator System with the pid-0
+// program and relays spawned in pid order (so pid == TID).
+func startHub(t *testing.T, network string, nprocs int, pid0 func(*pvm.Task) error) (*Hub, *pvm.System) {
+	t.Helper()
+	addr := "127.0.0.1:0"
+	if network == "unix" {
+		addr = filepath.Join(t.TempDir(), "hub.sock")
+	}
+	h, err := NewHub(network, addr, nprocs, 1)
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	sys := pvm.NewSystem()
+	if tid := sys.Spawn("pid0", pid0); tid != 0 {
+		t.Fatalf("pid0 spawned as TID %d", tid)
+	}
+	for pid := 1; pid < nprocs; pid++ {
+		sys.Spawn(fmt.Sprintf("relay%d", pid), h.Relay(pid, testTimeout))
+	}
+	return h, sys
+}
+
+func TestHubWorkerSPMD(t *testing.T) {
+	for _, network := range []string{"unix", "tcp"} {
+		t.Run(network, func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			const nprocs = 3
+			h, sys := startHub(t, network, nprocs, func(task *pvm.Task) error {
+				_, err := RunSPMD(LocalPeer(task, 0, nprocs, testTimeout), 3, 2048)
+				return err
+			})
+
+			var wg sync.WaitGroup
+			workerErrs := make([]error, nprocs)
+			for pid := 1; pid < nprocs; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					w, err := DialWorker(network, h.Addr(), pid, nprocs, 1, testTimeout)
+					if err != nil {
+						workerErrs[pid] = err
+						return
+					}
+					defer func() { _ = w.Close() }()
+					if _, err := RunSPMD(w, 3, 2048); err != nil {
+						workerErrs[pid] = err
+					}
+				}(pid)
+			}
+			wg.Wait()
+			if err := sys.Wait(); err != nil {
+				t.Fatalf("coordinator: %v", err)
+			}
+			for pid, err := range workerErrs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", pid, err)
+				}
+			}
+		})
+	}
+}
+
+func TestHubRejectsBadHandshake(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h, err := NewHub("tcp", "127.0.0.1:0", 3, 7)
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+
+	cases := []struct {
+		name        string
+		pid, nprocs int
+		gen         int64
+	}{
+		{"pid out of range", 5, 3, 7},
+		{"pid zero is the coordinator", 0, 3, 7},
+		{"nprocs mismatch", 1, 4, 7},
+		{"generation mismatch", 1, 3, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DialWorker("tcp", h.Addr(), tc.pid, tc.nprocs, tc.gen, 3*time.Second); err == nil {
+				t.Fatal("handshake accepted")
+			}
+		})
+	}
+	// A valid handshake still goes through afterwards.
+	w, err := DialWorker("tcp", h.Addr(), 1, 3, 7, 3*time.Second)
+	if err != nil {
+		t.Fatalf("valid handshake rejected: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWorkerLinkDropHaltsCoordinator(t *testing.T) {
+	// A worker that vanishes without BYE must not hang the coordinator:
+	// the relay halts the System, so pid 0 (parked in a receive) wakes
+	// with a typed error instead of blocking forever.
+	testutil.CheckGoroutines(t)
+	const nprocs = 2
+	pid0Err := make(chan error, 1)
+	h, sys := startHub(t, "tcp", nprocs, func(task *pvm.Task) error {
+		m, err := task.RecvTimeout(pvm.AnySource, 9, testTimeout)
+		if err == nil {
+			m.Release()
+		}
+		pid0Err <- err
+		return nil
+	})
+
+	w, err := DialWorker("tcp", h.Addr(), 1, nprocs, 1, testTimeout)
+	if err != nil {
+		t.Fatalf("DialWorker: %v", err)
+	}
+	// Abrupt close: no BYE.
+	_ = w.lk.close()
+	<-w.done
+
+	err = <-pid0Err
+	if !errors.Is(err, pvm.ErrHalted) {
+		t.Fatalf("pid0 receive after worker drop = %v, want ErrHalted", err)
+	}
+	if werr := sys.Wait(); werr == nil || !errors.Is(werr, pvm.ErrPeerLost) {
+		t.Fatalf("coordinator Wait = %v, want a pvm.ErrPeerLost relay error", werr)
+	}
+}
+
+func TestWorkerBarrierTimeoutIsTyped(t *testing.T) {
+	// A barrier the peers never complete must come back to the worker
+	// as the same typed ErrTimeout the in-proc API returns.
+	testutil.CheckGoroutines(t)
+	const nprocs = 2
+	h, sys := startHub(t, "tcp", nprocs, func(task *pvm.Task) error {
+		// pid0 never enters the barrier.
+		_, err := task.RecvTimeout(pvm.AnySource, 9, testTimeout)
+		if errors.Is(err, pvm.ErrHalted) {
+			return nil
+		}
+		return err
+	})
+
+	w, err := DialWorker("tcp", h.Addr(), 1, nprocs, 1, testTimeout)
+	if err != nil {
+		t.Fatalf("DialWorker: %v", err)
+	}
+	w.SetTimeout(300 * time.Millisecond)
+	if _, err := w.Barrier("nobody-comes", nprocs, nil); !errors.Is(err, pvm.ErrTimeout) {
+		t.Fatalf("Barrier = %v, want pvm.ErrTimeout", err)
+	}
+	w.SetTimeout(testTimeout)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sys.Halt()
+	_ = sys.Wait()
+}

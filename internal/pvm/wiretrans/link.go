@@ -1,0 +1,173 @@
+package wiretrans
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hbspk/internal/pvm"
+)
+
+// Handshake constants. Every connection opens with a HELLO carrying
+// the protocol magic and version plus the dialer's identity (pid,
+// nprocs, membership generation); the acceptor answers WELCOME with an
+// error code, so identity or generation mismatches are rejected before
+// any message flows.
+const (
+	protoMagic   = "hbspk-wire"
+	protoVersion = 1
+
+	roleTransport int32 = 0 // a Loopback client carrying Deliver batches
+	roleWorker    int32 = 1 // a worker process joining a hub
+)
+
+// Welcome codes.
+const (
+	welcomeOK int32 = iota
+	welcomeRejected
+)
+
+const handshakeTimeout = 10 * time.Second
+
+type helloInfo struct {
+	role   int32
+	pid    int32
+	nprocs int32
+	gen    int64
+}
+
+// link wraps one connection with a write lock (frames from concurrent
+// writers must not interleave) and per-link frame accounting.
+type link struct {
+	conn      net.Conn
+	transport string // metrics label: "unix" or "tcp"
+
+	wmu sync.Mutex
+}
+
+func (l *link) writeFrame(kind byte, body []byte) error {
+	frame := AppendFrame(nil, kind, body)
+	l.wmu.Lock()
+	_, err := l.conn.Write(frame)
+	l.wmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wiretrans: write %s frame: %w: %w", l.transport, pvm.ErrPeerLost, err)
+	}
+	observeFrame(l.transport, true, len(frame))
+	return nil
+}
+
+// readFrame reads one frame, reusing scratch across calls.
+func (l *link) readFrame(scratch []byte) (kind byte, body, next []byte, err error) {
+	kind, body, next, n, err := ReadFrame(l.conn, scratch)
+	if err == nil {
+		observeFrame(l.transport, false, n)
+	}
+	return kind, body, next, err
+}
+
+func (l *link) close() error { return l.conn.Close() }
+
+// sendHello writes the opening HELLO frame.
+func (l *link) sendHello(h helloInfo) error {
+	body := pvm.Wrap(nil).
+		PackString(protoMagic).
+		PackInt32(protoVersion, h.role, h.pid, h.nprocs).
+		PackInt64(h.gen)
+	return l.writeFrame(frameHello, body.Bytes())
+}
+
+// readHello reads and validates the opening HELLO frame.
+func (l *link) readHello() (helloInfo, error) {
+	deadline := time.Now().Add(handshakeTimeout)
+	_ = l.conn.SetReadDeadline(deadline)
+	defer func() { _ = l.conn.SetReadDeadline(time.Time{}) }()
+	kind, body, _, err := l.readFrame(nil)
+	if err != nil {
+		return helloInfo{}, fmt.Errorf("wiretrans: handshake read: %w", err)
+	}
+	if kind != frameHello {
+		return helloInfo{}, fmt.Errorf("%w: expected HELLO, got kind %d", ErrBadFrame, kind)
+	}
+	b := pvm.Wrap(body)
+	magic, err := b.UnpackString()
+	if err != nil {
+		return helloInfo{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if magic != protoMagic {
+		return helloInfo{}, fmt.Errorf("%w: bad magic %q", ErrBadFrame, magic)
+	}
+	var h helloInfo
+	version, err := b.UnpackInt32()
+	if err == nil && version != protoVersion {
+		return helloInfo{}, fmt.Errorf("%w: protocol version %d, want %d", ErrBadFrame, version, protoVersion)
+	}
+	if err == nil {
+		h.role, err = b.UnpackInt32()
+	}
+	if err == nil {
+		h.pid, err = b.UnpackInt32()
+	}
+	if err == nil {
+		h.nprocs, err = b.UnpackInt32()
+	}
+	if err == nil {
+		h.gen, err = b.UnpackInt64()
+	}
+	if err != nil {
+		return helloInfo{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return h, nil
+}
+
+// sendWelcome answers a HELLO.
+func (l *link) sendWelcome(code int32, detail string) error {
+	body := pvm.Wrap(nil).PackInt32(code).PackString(detail)
+	return l.writeFrame(frameWelcome, body.Bytes())
+}
+
+// readWelcome reads the WELCOME answer and surfaces a rejection as an
+// error.
+func (l *link) readWelcome() error {
+	deadline := time.Now().Add(handshakeTimeout)
+	_ = l.conn.SetReadDeadline(deadline)
+	defer func() { _ = l.conn.SetReadDeadline(time.Time{}) }()
+	kind, body, _, err := l.readFrame(nil)
+	if err != nil {
+		return fmt.Errorf("wiretrans: handshake read: %w", err)
+	}
+	if kind != frameWelcome {
+		return fmt.Errorf("%w: expected WELCOME, got kind %d", ErrBadFrame, kind)
+	}
+	b := pvm.Wrap(body)
+	code, err := b.UnpackInt32()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if code != welcomeOK {
+		detail, _ := b.UnpackString()
+		return fmt.Errorf("wiretrans: handshake rejected: %s", detail)
+	}
+	return nil
+}
+
+// dialRetry dials with retries until the deadline — worker processes
+// race the coordinator's listener at startup, and a connection refused
+// within the window is an ordering artifact, not a failure.
+func dialRetry(network, addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("wiretrans: dial %s %s: %w (last: %v)", network, addr, pvm.ErrTimeout, lastErr)
+		}
+		conn, err := net.DialTimeout(network, addr, remain)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+}

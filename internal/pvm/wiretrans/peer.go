@@ -1,0 +1,85 @@
+package wiretrans
+
+import (
+	"time"
+
+	"hbspk/internal/pvm"
+)
+
+// Peer is the process-spanning SPMD surface: what a processor can do
+// regardless of whether it lives in the coordinator (a pvm task) or in
+// a worker OS process (a Worker over a socket). Pids are dense
+// [0, NProcs); by construction pid 0 is the coordinator-local program
+// and pid == TID on the coordinator's System.
+type Peer interface {
+	Pid() int
+	NProcs() int
+	// Send delivers payload to dst under tag. Reliable, per-sender
+	// ordered, like pvm.Task.Send.
+	Send(dst, tag int, payload []byte) error
+	// Recv blocks for the next matching envelope; negative src or tag
+	// is a wildcard. Bounded by the peer's operation timeout.
+	Recv(src, tag int) (Envelope, error)
+	// Barrier enters the named barrier with a deposit and returns every
+	// participant's deposit keyed by pid, exactly BarrierExchange.
+	Barrier(name string, count int, deposit []byte) (map[int][]byte, error)
+}
+
+// localPeer adapts a coordinator-local pvm task to Peer.
+type localPeer struct {
+	task    *pvm.Task
+	pid     int
+	nprocs  int
+	timeout time.Duration
+}
+
+// LocalPeer wraps a pvm task as a Peer. The caller guarantees the
+// pid↔TID correspondence (spawn the pid-0 program first, then relays
+// in pid order).
+func LocalPeer(task *pvm.Task, pid, nprocs int, timeout time.Duration) Peer {
+	return &localPeer{task: task, pid: pid, nprocs: nprocs, timeout: timeout}
+}
+
+func (lp *localPeer) Pid() int    { return lp.pid }
+func (lp *localPeer) NProcs() int { return lp.nprocs }
+
+func (lp *localPeer) Send(dst, tag int, payload []byte) error {
+	return lp.task.Send(pvm.TID(dst), tag, pvm.NewBuffer().PackBytes(payload))
+}
+
+func (lp *localPeer) Recv(src, tag int) (Envelope, error) {
+	s := pvm.TID(src)
+	if src < 0 {
+		s = pvm.AnySource
+	}
+	tg := tag
+	if tag < 0 {
+		tg = pvm.AnyTag
+	}
+	m, err := lp.task.RecvTimeout(s, tg, lp.timeout)
+	if err != nil {
+		return Envelope{}, err
+	}
+	payload, uerr := m.Buffer().UnpackBytes()
+	env := Envelope{Src: int(m.Src), Tag: m.Tag}
+	if uerr == nil {
+		env.Payload = append([]byte(nil), payload...)
+	}
+	m.Release()
+	if uerr != nil {
+		return Envelope{}, uerr
+	}
+	return env, nil
+}
+
+func (lp *localPeer) Barrier(name string, count int, deposit []byte) (map[int][]byte, error) {
+	res, err := lp.task.BarrierExchange(name, count, lp.timeout, deposit)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]byte, len(res))
+	for tid, data := range res {
+		out[int(tid)] = data
+	}
+	return out, nil
+}

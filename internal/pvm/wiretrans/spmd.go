@@ -1,0 +1,255 @@
+package wiretrans
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hbspk/internal/pvm"
+)
+
+// The multi-process smoke program: a broadcast + reduce round trip per
+// round, verified the same way the in-proc engines' Verify mode works —
+// vector clocks exchanged at every barrier prove each delivery is
+// happens-before ordered (stamped clock dominated by the receiver's),
+// and FNV checksums prove payloads crossed the wire unmutated. It runs
+// over any Peer, so one program covers the coordinator-local pid and
+// every worker process.
+
+// Message tags of the SPMD program.
+const (
+	tagBcast  = 101
+	tagReduce = 102
+)
+
+// vclock is a dense per-pid vector clock. (The hbsp package keeps its
+// clock methods unexported; the few lines are reimplemented here
+// rather than widening that API for a test program.)
+type vclock []uint64
+
+func (c vclock) tick(pid int) { c[pid]++ }
+
+func (c vclock) join(o vclock) {
+	for i := range c {
+		if i < len(o) && o[i] > c[i] {
+			c[i] = o[i]
+		}
+	}
+}
+
+// dominates reports whether c >= o componentwise: o happened-before or
+// equals c.
+func (c vclock) dominates(o vclock) bool {
+	for i := range c {
+		var ov uint64
+		if i < len(o) {
+			ov = o[i]
+		}
+		if c[i] < ov {
+			return false
+		}
+	}
+	return true
+}
+
+func (c vclock) encode() []byte {
+	out := make([]byte, 0, 8*len(c))
+	for _, v := range c {
+		out = binary.BigEndian.AppendUint64(out, v)
+	}
+	return out
+}
+
+func decodeClock(raw []byte, n int) (vclock, error) {
+	if len(raw) != 8*n {
+		return nil, fmt.Errorf("wiretrans: clock deposit of %d bytes, want %d", len(raw), 8*n)
+	}
+	c := make(vclock, n)
+	for i := range c {
+		c[i] = binary.BigEndian.Uint64(raw[8*i:])
+	}
+	return c, nil
+}
+
+// fnv64a is the same FNV-1a the verification layer checksums payloads
+// with.
+func fnv64a(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// stamp packs (checksum, clock, data) into one payload.
+func stamp(clk vclock, data []byte) []byte {
+	return pvm.Wrap(nil).
+		PackInt64(int64(fnv64a(data))).
+		PackBytes(clk.encode()).
+		PackBytes(data).
+		Bytes()
+}
+
+// unstamp reverses stamp. The returned data is a copy.
+func unstamp(payload []byte, nprocs int) (sum uint64, clk vclock, data []byte, err error) {
+	b := pvm.Wrap(payload)
+	s, err := b.UnpackInt64()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rawClk, err := b.UnpackBytes()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	clk, err = decodeClock(rawClk, nprocs)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	raw, err := b.UnpackBytes()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return uint64(s), clk, append([]byte(nil), raw...), nil
+}
+
+// detPayload is the deterministic broadcast body for a round — every
+// process can recompute it, so receivers verify content, not just
+// checksums.
+func detPayload(round, nbytes int) []byte {
+	out := make([]byte, nbytes)
+	for i := range out {
+		out[i] = byte(round*31 + i*7 + 0x5A)
+	}
+	return out
+}
+
+// localFold is pid's deterministic reduce contribution for a round.
+func localFold(pid, round int, data []byte) int64 {
+	return int64(fnv64a(data)&0xFFFF)*int64(pid+1) + int64(round)
+}
+
+// barrierJoin enters a named barrier depositing the local clock, joins
+// every participant's deposit, and ticks — the standard barrier edge
+// of the happens-before order.
+func barrierJoin(p Peer, clk vclock, name string) error {
+	res, err := p.Barrier(name, p.NProcs(), clk.encode())
+	if err != nil {
+		return err
+	}
+	for pid, raw := range res {
+		other, derr := decodeClock(raw, p.NProcs())
+		if derr != nil {
+			return fmt.Errorf("pid %d deposit: %w", pid, derr)
+		}
+		clk.join(other)
+	}
+	clk.tick(p.Pid())
+	return nil
+}
+
+// RunSPMD runs the verified broadcast+reduce program: per round, pid 0
+// broadcasts a stamped deterministic payload, every receiver checks
+// ordering, checksum and content, then all pids fold a deterministic
+// local value back to pid 0, which checks the total against the
+// closed-form oracle; a final verdict barrier makes every process
+// agree on the outcome. Returns the bytes this peer put on the wire.
+func RunSPMD(p Peer, rounds, nbytes int) (int64, error) {
+	pid, n := p.Pid(), p.NProcs()
+	clk := make(vclock, n)
+	var moved int64
+	for r := 0; r < rounds; r++ {
+		if err := barrierJoin(p, clk, fmt.Sprintf("spmd:start#%d", r)); err != nil {
+			return moved, fmt.Errorf("round %d start: %w", r, err)
+		}
+		data := detPayload(r, nbytes)
+		if pid == 0 {
+			for dst := 1; dst < n; dst++ {
+				payload := stamp(clk, data)
+				if err := p.Send(dst, tagBcast, payload); err != nil {
+					return moved, fmt.Errorf("round %d bcast to %d: %w", r, dst, err)
+				}
+				moved += int64(len(payload))
+			}
+		}
+		if err := barrierJoin(p, clk, fmt.Sprintf("spmd:bcast#%d", r)); err != nil {
+			return moved, fmt.Errorf("round %d bcast barrier: %w", r, err)
+		}
+		if pid != 0 {
+			env, err := p.Recv(0, tagBcast)
+			if err != nil {
+				return moved, fmt.Errorf("round %d bcast recv: %w", r, err)
+			}
+			sum, sclk, got, err := unstamp(env.Payload, n)
+			if err != nil {
+				return moved, fmt.Errorf("round %d bcast payload: %w", r, err)
+			}
+			switch {
+			case !clk.dominates(sclk):
+				return moved, fmt.Errorf("round %d verify: broadcast delivery not ordered before the barrier (clock %v vs stamp %v)", r, clk, sclk)
+			case fnv64a(got) != sum:
+				return moved, fmt.Errorf("round %d verify: broadcast checksum mismatch", r)
+			case !bytes.Equal(got, data):
+				return moved, fmt.Errorf("round %d verify: broadcast payload diverged from the deterministic oracle", r)
+			}
+		}
+		local := localFold(pid, r, data)
+		if pid != 0 {
+			payload := stamp(clk, binary.BigEndian.AppendUint64(nil, uint64(local)))
+			if err := p.Send(0, tagReduce, payload); err != nil {
+				return moved, fmt.Errorf("round %d reduce send: %w", r, err)
+			}
+			moved += int64(len(payload))
+		}
+		if err := barrierJoin(p, clk, fmt.Sprintf("spmd:reduce#%d", r)); err != nil {
+			return moved, fmt.Errorf("round %d reduce barrier: %w", r, err)
+		}
+		verdict := []byte("K")
+		if pid == 0 {
+			total := local
+			for src := 1; src < n; src++ {
+				env, err := p.Recv(src, tagReduce)
+				if err != nil {
+					verdict = []byte(fmt.Sprintf("E: reduce recv from %d: %v", src, err))
+					break
+				}
+				sum, sclk, raw, err := unstamp(env.Payload, n)
+				switch {
+				case err != nil:
+					verdict = []byte(fmt.Sprintf("E: reduce payload from %d: %v", src, err))
+				case !clk.dominates(sclk):
+					verdict = []byte(fmt.Sprintf("E: reduce from %d not ordered before the barrier", src))
+				case fnv64a(raw) != sum:
+					verdict = []byte(fmt.Sprintf("E: reduce checksum from %d", src))
+				case len(raw) != 8:
+					verdict = []byte(fmt.Sprintf("E: reduce payload from %d is %d bytes", src, len(raw)))
+				default:
+					total += int64(binary.BigEndian.Uint64(raw))
+					continue
+				}
+				break
+			}
+			if verdict[0] == 'K' {
+				var oracle int64
+				for i := 0; i < n; i++ {
+					oracle += localFold(i, r, data)
+				}
+				if total != oracle {
+					verdict = []byte(fmt.Sprintf("E: reduce total %d, oracle %d", total, oracle))
+				}
+			}
+		}
+		res, err := p.Barrier(fmt.Sprintf("spmd:verdict#%d", r), n, verdict)
+		if err != nil {
+			return moved, fmt.Errorf("round %d verdict barrier: %w", r, err)
+		}
+		if v := res[0]; len(v) == 0 || v[0] != 'K' {
+			return moved, fmt.Errorf("round %d verify failed: %s", r, v)
+		}
+	}
+	return moved, nil
+}

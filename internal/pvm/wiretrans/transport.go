@@ -1,0 +1,422 @@
+package wiretrans
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hbspk/internal/pvm"
+)
+
+func init() {
+	pvm.RegisterTransport(pvm.TransportFactory{Name: "unix", New: func() (pvm.Transport, error) {
+		return NewLoopback("unix")
+	}})
+	pvm.RegisterTransport(pvm.TransportFactory{Name: "tcp", New: func() (pvm.Transport, error) {
+		return NewLoopback("tcp")
+	}})
+}
+
+// ackResult is one BATCH acknowledgement.
+type ackResult struct {
+	code   int32
+	detail string
+}
+
+// Ack codes.
+const (
+	ackOK int32 = iota
+	ackHalted
+	ackNoTask
+	ackBad
+)
+
+// Loopback is a pvm.Transport that pushes every delivery through a
+// real socket: the System's sends are framed, written to a connection,
+// read back by a server pump attached to the same System, injected
+// into the destination mailbox, and acknowledged. Functionally the
+// messages land where the in-proc path would put them — but they cross
+// a genuine network stack with real framing, partial reads, and
+// connection failure modes, which is exactly what the conformance and
+// chaos suites need to exercise.
+//
+// Deliver is synchronous: it returns only after the server pump has
+// injected the whole batch and acked it, preserving the engines'
+// "all sends of a superstep happen before barrier exit" contract.
+type Loopback struct {
+	network string // "unix" or "tcp"
+	sys     *pvm.System
+
+	ln  net.Listener
+	dir string // unix socket directory, removed on Close
+	cli *link  // client side: Deliver writes, ack reader reads
+
+	seqMu sync.Mutex
+	seq   int64
+	acks  map[int64]chan ackResult
+
+	// AckTimeout bounds one Deliver round trip. The default is generous:
+	// on loopback an ack is microseconds away, so expiry means the pump
+	// died, not congestion.
+	AckTimeout time.Duration
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	failMu    sync.Mutex
+	failErr   error
+	wg        sync.WaitGroup
+
+	sevMu      sync.Mutex
+	severAfter int64 // server frames until abrupt close; <0 = never
+}
+
+// NewLoopback returns an unattached loopback transport over the given
+// network ("unix" or "tcp"). The listener and connection are created
+// by Attach.
+func NewLoopback(network string) (*Loopback, error) {
+	switch network {
+	case "unix", "tcp":
+	default:
+		return nil, fmt.Errorf("wiretrans: unsupported network %q", network)
+	}
+	return &Loopback{
+		network:    network,
+		acks:       make(map[int64]chan ackResult),
+		AckTimeout: 30 * time.Second,
+		closed:     make(chan struct{}),
+		severAfter: -1,
+	}, nil
+}
+
+// Name implements pvm.Transport.
+func (l *Loopback) Name() string { return l.network }
+
+// Attach implements pvm.Transport: it brings up the listener, dials it,
+// handshakes, and starts the server pump and the ack reader.
+func (l *Loopback) Attach(sys *pvm.System) error {
+	l.sys = sys
+	addr := "127.0.0.1:0"
+	if l.network == "unix" {
+		dir, err := os.MkdirTemp("", "hbspk-wt-*")
+		if err != nil {
+			return fmt.Errorf("wiretrans: socket dir: %w", err)
+		}
+		l.dir = dir
+		addr = filepath.Join(dir, "loop.sock")
+	}
+	ln, err := net.Listen(l.network, addr)
+	if err != nil {
+		l.removeDir()
+		return fmt.Errorf("wiretrans: listen %s: %w", l.network, err)
+	}
+	l.ln = ln
+
+	accepted := make(chan net.Conn, 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		accepted <- conn
+	}()
+
+	conn, err := net.DialTimeout(l.network, ln.Addr().String(), handshakeTimeout)
+	if err != nil {
+		_ = ln.Close()
+		l.removeDir()
+		return fmt.Errorf("wiretrans: dial %s: %w", l.network, err)
+	}
+	l.cli = &link{conn: conn, transport: l.network}
+	if err := l.cli.sendHello(helloInfo{role: roleTransport, pid: -1}); err != nil {
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return err
+	}
+
+	var srvConn net.Conn
+	select {
+	case srvConn = <-accepted:
+	case err := <-acceptErr:
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return fmt.Errorf("wiretrans: accept: %w", err)
+	case <-time.After(handshakeTimeout):
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return fmt.Errorf("wiretrans: accept: %w", pvm.ErrTimeout)
+	}
+	srv := &link{conn: srvConn, transport: l.network}
+	h, err := srv.readHello()
+	if err != nil {
+		_ = srv.close()
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return err
+	}
+	if h.role != roleTransport {
+		_ = srv.sendWelcome(welcomeRejected, "not a transport client")
+		_ = srv.close()
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return fmt.Errorf("%w: unexpected role %d", ErrBadFrame, h.role)
+	}
+	if err := srv.sendWelcome(welcomeOK, ""); err != nil {
+		_ = srv.close()
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return err
+	}
+	if err := l.cli.readWelcome(); err != nil {
+		_ = srv.close()
+		_ = conn.Close()
+		_ = ln.Close()
+		l.removeDir()
+		return err
+	}
+
+	l.wg.Add(2)
+	go l.serverPump(srv)
+	go l.ackReader()
+	return nil
+}
+
+// Deliver implements pvm.Transport. It consumes the batch's wire
+// references (copying each payload into the frame), writes one
+// coalesced BATCH frame, and blocks until the server pump acks it.
+func (l *Loopback) Deliver(dst pvm.TID, ms []pvm.Message) error {
+	l.seqMu.Lock()
+	l.seq++
+	seq := l.seq
+	ch := make(chan ackResult, 1)
+	l.acks[seq] = ch
+	l.seqMu.Unlock()
+
+	body := pvm.Wrap(nil).
+		PackInt64(seq).
+		PackInt32(int32(dst), int32(len(ms)))
+	for _, m := range ms {
+		body.PackInt32(int32(m.Src)).PackInt64(int64(m.Tag)).PackBytes(m.Buffer().Bytes())
+		m.Release()
+	}
+
+	if err := l.cli.writeFrame(frameBatch, body.Bytes()); err != nil {
+		l.dropAck(seq)
+		if ferr := l.failedErr(); ferr != nil {
+			return ferr
+		}
+		return err
+	}
+
+	timer := time.NewTimer(l.AckTimeout)
+	defer timer.Stop()
+	select {
+	case ack := <-ch:
+		switch ack.code {
+		case ackOK:
+			return nil
+		case ackHalted:
+			return pvm.ErrHalted
+		case ackNoTask:
+			return fmt.Errorf("wiretrans: deliver to %d: %s", dst, ack.detail)
+		default:
+			return fmt.Errorf("%w: deliver to %d: %s", ErrBadFrame, dst, ack.detail)
+		}
+	case <-l.closed:
+		l.dropAck(seq)
+		if ferr := l.failedErr(); ferr != nil {
+			return ferr
+		}
+		return fmt.Errorf("wiretrans: %s transport closed: %w", l.network, pvm.ErrPeerLost)
+	case <-timer.C:
+		l.dropAck(seq)
+		return fmt.Errorf("wiretrans: %s ack after %v: %w", l.network, l.AckTimeout, pvm.ErrTimeout)
+	}
+}
+
+func (l *Loopback) dropAck(seq int64) {
+	l.seqMu.Lock()
+	delete(l.acks, seq)
+	l.seqMu.Unlock()
+}
+
+// serverPump reads BATCH frames, injects their messages into the
+// destination mailbox, and writes the ack. It also implements Sever:
+// when the armed frame budget runs out, both connections are torn down
+// abruptly, mid-protocol, with no goodbye — the failure mode the
+// abrupt-close chaos test exercises.
+func (l *Loopback) serverPump(srv *link) {
+	defer l.wg.Done()
+	defer func() { _ = srv.close() }()
+	var scratch []byte
+	for {
+		kind, body, next, err := srv.readFrame(scratch)
+		if err != nil {
+			l.fail(fmt.Errorf("wiretrans: %s server: %w: %v", l.network, pvm.ErrPeerLost, err))
+			return
+		}
+		scratch = next
+		if kind != frameBatch {
+			l.fail(fmt.Errorf("%w: server got kind %d", ErrBadFrame, kind))
+			return
+		}
+		if l.countSever() {
+			// Abrupt close: no ack for the frame just read, no goodbye.
+			l.fail(fmt.Errorf("wiretrans: %s link severed: %w", l.network, pvm.ErrPeerLost))
+			return
+		}
+		seq, code, detail := l.injectBatch(body)
+		ackBody := pvm.Wrap(nil).PackInt64(seq).PackInt32(code).PackString(detail)
+		if err := srv.writeFrame(frameAck, ackBody.Bytes()); err != nil {
+			l.fail(err)
+			return
+		}
+	}
+}
+
+// injectBatch decodes one BATCH body and stages every message.
+func (l *Loopback) injectBatch(body []byte) (seq int64, code int32, detail string) {
+	b := pvm.Wrap(body)
+	seq, err := b.UnpackInt64()
+	if err != nil {
+		return 0, ackBad, err.Error()
+	}
+	dst, err := b.UnpackInt32()
+	if err != nil {
+		return seq, ackBad, err.Error()
+	}
+	n, err := b.UnpackInt32()
+	if err != nil {
+		return seq, ackBad, err.Error()
+	}
+	for i := int32(0); i < n; i++ {
+		src, err := b.UnpackInt32()
+		if err != nil {
+			return seq, ackBad, err.Error()
+		}
+		tag, err := b.UnpackInt64()
+		if err != nil {
+			return seq, ackBad, err.Error()
+		}
+		wire, err := b.UnpackBytes()
+		if err != nil {
+			return seq, ackBad, err.Error()
+		}
+		if err := l.sys.Inject(pvm.TID(src), pvm.TID(dst), int(tag), wire); err != nil {
+			if err == pvm.ErrHalted {
+				return seq, ackHalted, ""
+			}
+			return seq, ackNoTask, err.Error()
+		}
+	}
+	return seq, ackOK, ""
+}
+
+// ackReader completes pending Delivers as acks come back.
+func (l *Loopback) ackReader() {
+	defer l.wg.Done()
+	var scratch []byte
+	for {
+		kind, body, next, err := l.cli.readFrame(scratch)
+		if err != nil {
+			l.fail(fmt.Errorf("wiretrans: %s ack reader: %w: %v", l.network, pvm.ErrPeerLost, err))
+			return
+		}
+		scratch = next
+		if kind != frameAck {
+			l.fail(fmt.Errorf("%w: ack reader got kind %d", ErrBadFrame, kind))
+			return
+		}
+		b := pvm.Wrap(body)
+		seq, err := b.UnpackInt64()
+		if err != nil {
+			l.fail(fmt.Errorf("%w: %v", ErrBadFrame, err))
+			return
+		}
+		code, err := b.UnpackInt32()
+		if err != nil {
+			l.fail(fmt.Errorf("%w: %v", ErrBadFrame, err))
+			return
+		}
+		detail, _ := b.UnpackString()
+		l.seqMu.Lock()
+		ch := l.acks[seq]
+		delete(l.acks, seq)
+		l.seqMu.Unlock()
+		if ch != nil {
+			ch <- ackResult{code: code, detail: detail}
+		}
+	}
+}
+
+// Sever arms an abrupt connection teardown after n more delivered
+// frames (0 = at the next frame). Subsequent Delivers fail with
+// pvm.ErrPeerLost, which the engines detect as a peer failure.
+func (l *Loopback) Sever(n int64) {
+	l.sevMu.Lock()
+	l.severAfter = n
+	l.sevMu.Unlock()
+}
+
+// countSever burns one frame of the armed sever budget and reports
+// whether the link must drop now.
+func (l *Loopback) countSever() bool {
+	l.sevMu.Lock()
+	defer l.sevMu.Unlock()
+	if l.severAfter < 0 {
+		return false
+	}
+	if l.severAfter == 0 {
+		return true
+	}
+	l.severAfter--
+	return false
+}
+
+// fail latches the first terminal error, tears down the connections,
+// and unblocks every pending Deliver.
+func (l *Loopback) fail(err error) {
+	l.closeOnce.Do(func() {
+		l.failMu.Lock()
+		l.failErr = err
+		l.failMu.Unlock()
+		close(l.closed)
+		if l.cli != nil {
+			_ = l.cli.close()
+		}
+		if l.ln != nil {
+			_ = l.ln.Close()
+		}
+	})
+}
+
+func (l *Loopback) failedErr() error {
+	l.failMu.Lock()
+	defer l.failMu.Unlock()
+	return l.failErr
+}
+
+// Close implements pvm.Transport: a graceful teardown (nil failure).
+func (l *Loopback) Close() error {
+	l.fail(nil)
+	l.wg.Wait()
+	l.removeDir()
+	return nil
+}
+
+func (l *Loopback) removeDir() {
+	if l.dir != "" {
+		_ = os.RemoveAll(l.dir)
+		l.dir = ""
+	}
+}

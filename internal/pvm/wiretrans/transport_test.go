@@ -1,0 +1,235 @@
+package wiretrans
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hbspk/internal/pvm"
+	"hbspk/internal/testutil"
+)
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	for _, network := range []string{"unix", "tcp"} {
+		t.Run(network, func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			tr, err := NewLoopback(network)
+			if err != nil {
+				t.Fatalf("NewLoopback: %v", err)
+			}
+			sys := pvm.NewSystem()
+			if err := sys.SetTransport(tr); err != nil {
+				t.Fatalf("SetTransport: %v", err)
+			}
+			t.Cleanup(func() { _ = tr.Close() })
+
+			const msgs = 32
+			recv := sys.Spawn("recv", func(task *pvm.Task) error {
+				for i := 0; i < msgs; i++ {
+					m, err := task.RecvTimeout(pvm.AnySource, 3, 10*time.Second)
+					if err != nil {
+						return err
+					}
+					v, err := m.Buffer().UnpackInt64()
+					m.Release()
+					if err != nil {
+						return err
+					}
+					if v != int64(i) {
+						return fmt.Errorf("message %d carried %d: order or content lost on the wire", i, v)
+					}
+				}
+				return nil
+			})
+			sys.Spawn("send", func(task *pvm.Task) error {
+				// Mix Send, SendBatch and Mcast so all three routes cross
+				// the socket.
+				for i := 0; i < msgs; {
+					switch {
+					case i%8 == 5:
+						if err := task.Mcast([]pvm.TID{recv}, 3, pvm.NewBuffer().PackInt64(int64(i))); err != nil {
+							return err
+						}
+						i++
+					case i%8 == 2 && i+2 <= msgs:
+						batch := []*pvm.Buffer{
+							pvm.NewBuffer().PackInt64(int64(i)),
+							pvm.NewBuffer().PackInt64(int64(i + 1)),
+						}
+						if err := task.SendBatch(recv, 3, batch); err != nil {
+							return err
+						}
+						i += 2
+					default:
+						if err := task.Send(recv, 3, pvm.NewBuffer().PackInt64(int64(i))); err != nil {
+							return err
+						}
+						i++
+					}
+				}
+				return nil
+			})
+			if err := sys.Wait(); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestLoopbackBarrierDeliveryContract(t *testing.T) {
+	// The engines' core assumption: a Send that returned before a
+	// barrier entry is receivable immediately after the barrier exits,
+	// with no extra wait. TryRecv (non-blocking) right after the
+	// barrier must therefore see the message.
+	testutil.CheckGoroutines(t)
+	tr, err := NewLoopback("unix")
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	sys := pvm.NewSystem()
+	if err := sys.SetTransport(tr); err != nil {
+		t.Fatalf("SetTransport: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+
+	const rounds = 50
+	recv := sys.Spawn("recv", func(task *pvm.Task) error {
+		for r := 0; r < rounds; r++ {
+			if err := task.Barrier(fmt.Sprintf("b#%d", r), 2); err != nil {
+				return err
+			}
+			m, ok := task.TryRecv(pvm.AnySource, r)
+			if !ok {
+				return fmt.Errorf("round %d: message not visible right after the barrier — Deliver returned before injection", r)
+			}
+			m.Release()
+		}
+		return nil
+	})
+	if recv != 0 {
+		t.Fatalf("recv spawned as %d", recv)
+	}
+	sys.Spawn("send", func(task *pvm.Task) error {
+		for r := 0; r < rounds; r++ {
+			if err := task.Send(recv, r, pvm.NewBuffer().PackInt32(int32(r))); err != nil {
+				return err
+			}
+			if err := task.Barrier(fmt.Sprintf("b#%d", r), 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := sys.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestLoopbackSeverFailsDelivers(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	tr, err := NewLoopback("tcp")
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	sys := pvm.NewSystem()
+	if err := sys.SetTransport(tr); err != nil {
+		t.Fatalf("SetTransport: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+
+	errc := make(chan error, 1)
+	recv := sys.Spawn("recv", func(task *pvm.Task) error {
+		m, err := task.RecvTimeout(pvm.AnySource, 1, 10*time.Second)
+		if err == nil {
+			m.Release()
+		}
+		return nil
+	})
+	sys.Spawn("send", func(task *pvm.Task) error {
+		if err := task.Send(recv, 1, pvm.NewBuffer().PackInt32(1)); err != nil {
+			errc <- err
+			return nil
+		}
+		tr.Sever(0)
+		// Every delivery after the sever must fail with the typed
+		// peer-lost error, promptly (no ack-timeout stall).
+		errc <- task.Send(recv, 1, pvm.NewBuffer().PackInt32(2))
+		return nil
+	})
+	if err := <-errc; !errors.Is(err, pvm.ErrPeerLost) {
+		t.Fatalf("Send over severed link = %v, want pvm.ErrPeerLost", err)
+	}
+	sys.Halt()
+	_ = sys.Wait()
+}
+
+// frameCountObserver counts wire frames via the FrameObserver
+// extension, structurally like obsv.Recorder.
+type frameCountObserver struct {
+	mu     sync.Mutex
+	frames map[string]int
+	bytes  map[string]int
+}
+
+func (o *frameCountObserver) MailboxDepth(int) {}
+func (o *frameCountObserver) PoolDraw(bool)    {}
+func (o *frameCountObserver) TransportFrame(transport string, out bool, frameBytes int) {
+	dir := "in"
+	if out {
+		dir = "out"
+	}
+	o.mu.Lock()
+	o.frames[transport+"/"+dir]++
+	o.bytes[transport+"/"+dir] += frameBytes
+	o.mu.Unlock()
+}
+
+func TestLoopbackFrameObserver(t *testing.T) {
+	// Process-global observer: not parallel, restored on cleanup.
+	obs := &frameCountObserver{frames: map[string]int{}, bytes: map[string]int{}}
+	pvm.SetObserver(obs)
+	t.Cleanup(func() { pvm.SetObserver(nil) })
+
+	tr, err := NewLoopback("unix")
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	sys := pvm.NewSystem()
+	if err := sys.SetTransport(tr); err != nil {
+		t.Fatalf("SetTransport: %v", err)
+	}
+	recv := sys.Spawn("recv", func(task *pvm.Task) error {
+		m, err := task.RecvTimeout(pvm.AnySource, 1, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		m.Release()
+		return nil
+	})
+	sys.Spawn("send", func(task *pvm.Task) error {
+		return task.Send(recv, 1, pvm.NewBuffer().PackInt32(7))
+	})
+	if err := sys.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	// At least: hello+batch written, hello(read)+welcome+ack traffic.
+	if obs.frames["unix/out"] == 0 || obs.frames["unix/in"] == 0 {
+		t.Fatalf("frame observer saw %v", obs.frames)
+	}
+	if obs.bytes["unix/out"] == 0 || obs.bytes["unix/in"] == 0 {
+		t.Fatalf("frame observer byte counts %v", obs.bytes)
+	}
+}

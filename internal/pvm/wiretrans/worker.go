@@ -1,0 +1,266 @@
+package wiretrans
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hbspk/internal/pvm"
+)
+
+// Envelope is one application message as the Peer API sees it: the
+// hub/worker protocol wraps every payload in a single packed byte
+// field, so local pvm tasks and remote workers exchange identical
+// bytes.
+type Envelope struct {
+	Src     int
+	Tag     int
+	Payload []byte
+}
+
+// Worker is the client side of the hub/worker protocol: one per worker
+// OS process. It implements Peer over a single connection — sends and
+// barrier entries go up as frames, routed messages and barrier results
+// come back down into a small selective-receive inbox.
+type Worker struct {
+	lk     *link
+	pid    int
+	nprocs int
+
+	// Timeout bounds each Recv and Barrier. Zero means the dial
+	// timeout's default.
+	timeout time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []Envelope
+	replies []barrierReply
+	err     error
+	done    chan struct{}
+}
+
+type barrierReply struct {
+	data map[int][]byte
+	err  error
+}
+
+// DialWorker connects to a hub, retrying the dial until timeout (the
+// worker usually races the coordinator's listener at startup), and
+// completes the pid+generation handshake. The returned Worker's per-op
+// timeout defaults to the same value; SetTimeout overrides it.
+func DialWorker(network, addr string, pid, nprocs int, gen int64, timeout time.Duration) (*Worker, error) {
+	conn, err := dialRetry(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	lk := &link{conn: conn, transport: network}
+	if err := lk.sendHello(helloInfo{role: roleWorker, pid: int32(pid), nprocs: int32(nprocs), gen: gen}); err != nil {
+		_ = lk.close()
+		return nil, err
+	}
+	if err := lk.readWelcome(); err != nil {
+		_ = lk.close()
+		return nil, err
+	}
+	w := &Worker{lk: lk, pid: pid, nprocs: nprocs, timeout: timeout, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.reader()
+	return w, nil
+}
+
+// Pid implements Peer.
+func (w *Worker) Pid() int { return w.pid }
+
+// NProcs implements Peer.
+func (w *Worker) NProcs() int { return w.nprocs }
+
+// SetTimeout overrides the per-operation deadline.
+func (w *Worker) SetTimeout(d time.Duration) { w.timeout = d }
+
+// reader demultiplexes the downlink: routed messages into the inbox,
+// barrier outcomes into the reply queue.
+func (w *Worker) reader() {
+	defer close(w.done)
+	var scratch []byte
+	for {
+		kind, body, next, err := w.lk.readFrame(scratch)
+		if err != nil {
+			w.fail(fmt.Errorf("wiretrans: hub link: %w: %v", pvm.ErrPeerLost, err))
+			return
+		}
+		scratch = next
+		switch kind {
+		case frameMsg:
+			b := pvm.Wrap(body)
+			src, err := b.UnpackInt32()
+			var tag int64
+			if err == nil {
+				tag, err = b.UnpackInt64()
+			}
+			var payload []byte
+			if err == nil {
+				payload, err = b.UnpackBytes()
+			}
+			if err != nil {
+				w.fail(fmt.Errorf("%w: MSG: %v", ErrBadFrame, err))
+				return
+			}
+			env := Envelope{Src: int(src), Tag: int(tag), Payload: append([]byte(nil), payload...)}
+			w.mu.Lock()
+			w.inbox = append(w.inbox, env)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		case frameBarrierOK:
+			b := pvm.Wrap(body)
+			n, err := b.UnpackInt32()
+			if err != nil {
+				w.fail(fmt.Errorf("%w: BARRIEROK: %v", ErrBadFrame, err))
+				return
+			}
+			data := make(map[int][]byte, n)
+			for i := int32(0); i < n; i++ {
+				tid, err := b.UnpackInt32()
+				var dep []byte
+				if err == nil {
+					dep, err = b.UnpackBytes()
+				}
+				if err != nil {
+					w.fail(fmt.Errorf("%w: BARRIEROK: %v", ErrBadFrame, err))
+					return
+				}
+				data[int(tid)] = append([]byte(nil), dep...)
+			}
+			w.pushReply(barrierReply{data: data})
+		case frameBarrierErr:
+			b := pvm.Wrap(body)
+			code, err := b.UnpackInt32()
+			detail, _ := b.UnpackString()
+			if err != nil {
+				w.fail(fmt.Errorf("%w: BARRIERERR: %v", ErrBadFrame, err))
+				return
+			}
+			w.pushReply(barrierReply{err: barrierErrFromCode(code, detail)})
+		default:
+			w.fail(fmt.Errorf("%w: hub sent kind %d", ErrBadFrame, kind))
+			return
+		}
+	}
+}
+
+func barrierErrFromCode(code int32, detail string) error {
+	switch code {
+	case berrTimeout:
+		return fmt.Errorf("wiretrans: barrier: %w: %s", pvm.ErrTimeout, detail)
+	case berrCanceled:
+		return fmt.Errorf("wiretrans: barrier: %w: %s", pvm.ErrCanceled, detail)
+	case berrHalted:
+		return fmt.Errorf("wiretrans: barrier: %w: %s", pvm.ErrHalted, detail)
+	default:
+		return fmt.Errorf("wiretrans: barrier failed: %s", detail)
+	}
+}
+
+func (w *Worker) pushReply(r barrierReply) {
+	w.mu.Lock()
+	w.replies = append(w.replies, r)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *Worker) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Send implements Peer: the payload travels as one SEND frame and is
+// replayed by the relay as a pvm send to dst's TID.
+func (w *Worker) Send(dst, tag int, payload []byte) error {
+	body := pvm.Wrap(nil).
+		PackInt32(int32(dst)).
+		PackInt64(int64(tag)).
+		PackBytes(payload)
+	return w.lk.writeFrame(frameSend, body.Bytes())
+}
+
+// Recv implements Peer: it blocks until an inbox envelope matches src
+// and tag (negative values are wildcards), in arrival order.
+func (w *Worker) Recv(src, tag int) (Envelope, error) {
+	deadline := time.Now().Add(w.timeout)
+	timer := time.AfterFunc(w.timeout, func() {
+		w.mu.Lock()
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	defer timer.Stop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		for i, env := range w.inbox {
+			if (src >= 0 && env.Src != src) || (tag >= 0 && env.Tag != tag) {
+				continue
+			}
+			w.inbox = append(w.inbox[:i], w.inbox[i+1:]...)
+			return env, nil
+		}
+		if w.err != nil {
+			return Envelope{}, w.err
+		}
+		if !time.Now().Before(deadline) {
+			return Envelope{}, fmt.Errorf("wiretrans: recv(src=%d, tag=%d) after %v: %w", src, tag, w.timeout, pvm.ErrTimeout)
+		}
+		w.cond.Wait()
+	}
+}
+
+// Barrier implements Peer: the entry travels as a BARRIER frame, the
+// hub parks the relay in the System's BarrierExchange, and the result
+// (every participant's deposit keyed by pid) comes back down.
+func (w *Worker) Barrier(name string, count int, deposit []byte) (map[int][]byte, error) {
+	body := pvm.Wrap(nil).
+		PackString(name).
+		PackInt32(int32(count)).
+		PackInt64(w.timeout.Milliseconds()).
+		PackBytes(deposit)
+	if err := w.lk.writeFrame(frameBarrier, body.Bytes()); err != nil {
+		return nil, err
+	}
+	// The hub bounds the barrier by the same timeout; the extra slack
+	// covers the protocol round trip so the hub's typed answer wins the
+	// race against the local clock.
+	deadline := time.Now().Add(w.timeout + 5*time.Second)
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		w.mu.Lock()
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	defer timer.Stop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if len(w.replies) > 0 {
+			r := w.replies[0]
+			w.replies = w.replies[1:]
+			return r.data, r.err
+		}
+		if w.err != nil {
+			return nil, w.err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("wiretrans: barrier %q: %w", name, pvm.ErrTimeout)
+		}
+		w.cond.Wait()
+	}
+}
+
+// Close departs cleanly: a BYE frame, then the connection drops and
+// the reader drains out.
+func (w *Worker) Close() error {
+	_ = w.lk.writeFrame(frameBye, nil)
+	err := w.lk.close()
+	<-w.done
+	return err
+}

@@ -1,0 +1,64 @@
+// Package testutil holds cross-package test helpers. It must not
+// import other hbspk packages — the helpers are used from their tests.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines registers a cleanup that fails the test if goroutines
+// outlive it — a goleak-style leak check without the dependency. Call
+// it first thing in the test so its cleanup runs last (cleanups are
+// LIFO), after the test's own listeners and systems have shut down.
+//
+// The check snapshots the goroutine count up front and, at cleanup,
+// polls for the count to return to the baseline: legitimate teardown
+// (conn readers draining, wg.Wait stragglers) converges within the
+// grace window, a leaked pump does not. Tests using it must not run in
+// parallel — a sibling test's goroutines would be indistinguishable
+// from a leak.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // keep the real failure readable
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines after the test, %d before it\n%s",
+			n, base, condenseStacks(string(buf)))
+	})
+}
+
+// condenseStacks keeps the first line of every goroutine's stack plus
+// its top frame, so the failure message names the leaked pumps without
+// drowning the log.
+func condenseStacks(dump string) string {
+	var out strings.Builder
+	for _, g := range strings.Split(dump, "\n\n") {
+		lines := strings.SplitN(g, "\n", 3)
+		out.WriteString(lines[0])
+		if len(lines) > 1 {
+			out.WriteString("\n\t")
+			out.WriteString(strings.TrimSpace(lines[1]))
+		}
+		out.WriteString("\n")
+	}
+	return out.String()
+}
